@@ -1,0 +1,26 @@
+"""E10 — open problems: other graph classes; sequential GOSSIP.
+
+Explores the two directions the paper's conclusions suggest.
+Expected shape: dense graphs behave like the complete graph; the ring
+breaks termination (Find-Min cannot traverse diameter n/2 in O(log n)
+rounds); sequential min-aggregation costs Theta(n log n) ticks (flat
+normalised ratio across sizes).
+"""
+
+from repro.experiments.e10_extensions import E10Options, run
+
+OPTS = E10Options(n=64, trials=30, gamma=3.0, async_sizes=(64, 256, 1024))
+
+
+def test_e10_extensions(benchmark, emit):
+    topo, asy = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
+    emit("e10_extensions", topo, asy)
+    success = dict(zip(topo.column("graph"), topo.column("success rate")))
+    assert success["complete"] > 0.95
+    assert success["er_dense"] > 0.9
+    assert success["ring"] < 0.1       # diameter kills the O(log n) schedule
+    assert success["complete"] >= success["er_sparse"]
+    # Sequential gossip: ticks / (n log2 n) stays bounded (Theta shape).
+    ratios = asy.column("min-agg ticks / (n log2 n)")
+    assert all(0.1 < r < 10 for r in ratios)
+    assert max(ratios) / min(ratios) < 4

@@ -1,0 +1,34 @@
+"""E1 — fairness of the winning distribution (Theorem 4).
+
+Reproduces: Pr[color c wins] = fraction of active agents supporting c,
+for every initial configuration.  Expected shape: TV distance at the
+fair-sampling noise floor, and chi-square p-values not rejecting
+fairness (with a Bonferroni-style family threshold: 12 tests).
+"""
+
+from repro.experiments.e1_fairness import E1Options, run
+
+OPTS = E1Options(
+    sizes=(64, 128, 256),
+    workloads=("balanced", "skewed", "multiway", "leader_election"),
+    trials=400,
+    gamma=3.0,
+)
+
+
+def test_e1_fairness(benchmark, emit):
+    table = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
+    emit("e1_fairness", table)
+    rows = len(table.rows)
+    # TV at (or near) the fair-sampling noise floor everywhere.
+    for tv, floor in zip(table.column("TV distance"),
+                         table.column("TV noise floor")):
+        assert tv < max(0.05, 3.0 * floor)
+    # No protocol failures.
+    for fails in table.column("fail_rate"):
+        assert fails < 0.02
+    # Chi-square: no rejection at the family-corrected threshold, and the
+    # large majority of rows pass the raw 5% cut too.
+    pvalues = table.column("chi2 p-value")
+    assert all(p > 0.05 / rows for p in pvalues)
+    assert sum(1 for p in pvalues if p > 0.05) >= rows - 2

@@ -1,0 +1,34 @@
+"""E2 — O(log n) round complexity (Theorem 4).
+
+Reproduces: the fixed schedule is 4*ceil(gamma log2 n) rounds, and the
+stochastic Find-Min phase converges within its q-round budget w.h.p.
+Expected shape: both quantities fit a*log n + b with R^2 ~ 1, and the
+linear-in-n control fit is visibly worse.
+"""
+
+from repro.experiments.e2_rounds import E2Options, run
+
+OPTS = E2Options(
+    sizes=(64, 128, 256, 512, 1024, 2048, 4096),
+    trials=50,
+    gamma=3.0,
+)
+
+
+def test_e2_rounds(benchmark, emit):
+    main, fits = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
+    emit("e2_rounds", main, fits)
+    fit = {
+        (q, s): r2
+        for q, s, r2 in zip(
+            fits.column("quantity"), fits.column("fitted shape"),
+            fits.column("R^2"),
+        )
+    }
+    assert fit[("schedule rounds", "log n")] > 0.999
+    assert fit[("find-min mean", "log n")] > 0.9
+    assert fit[("find-min mean", "log n")] > fit[("find-min mean", "n")]
+    # Find-Min always finished inside its budget at gamma = 3.
+    for cell in main.column("converged in q"):
+        done, total = cell.split("/")
+        assert done == total

@@ -1,0 +1,24 @@
+"""E3 — O(log^2 n) message size (Theorem 4).
+
+Reproduces: the largest message of a run (the most-voted agent's
+certificate: Theta(log n) votes of Theta(log n) bits) grows like log^2 n.
+Expected shape: the log^2 n fit wins with R^2 ~ 1; log n and n fits are
+visibly worse.
+"""
+
+from repro.experiments.e3_message_size import E3Options, run
+
+OPTS = E3Options(
+    sizes=(64, 128, 256, 512, 1024, 2048, 4096),
+    trials=50,
+    gamma=3.0,
+)
+
+
+def test_e3_message_size(benchmark, emit):
+    main, fits = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
+    emit("e3_message_size", main, fits)
+    r2 = dict(zip(fits.column("fitted shape"), fits.column("R^2")))
+    assert r2["log^2 n"] > 0.995
+    assert r2["log^2 n"] > r2["log n"]
+    assert r2["log^2 n"] > r2["n"]

@@ -1,0 +1,33 @@
+"""E4 — o(n^2) message complexity (headline claim).
+
+Reproduces: Protocol P uses O(n log n) messages and O(n log^3 n) bits per
+run, versus Theta(n^2) messages for the LOCAL-model commit-reveal
+election of the prior work.  Expected shape: the message ratio P/LOCAL
+falls with n and crosses below 1 at small n; P's totals fit n log n and
+n log^3 n far better than n^2.
+"""
+
+from repro.experiments.e4_communication import E4Options, run
+
+OPTS = E4Options(
+    sizes=(32, 64, 128, 256, 512, 1024, 2048),
+    trials=20,
+    gamma=3.0,
+)
+
+
+def test_e4_communication(benchmark, emit):
+    main, fits = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
+    emit("e4_communication", main, fits)
+    ratios = main.column("msg ratio (P/LOCAL)")
+    assert ratios[-1] < 0.5           # decisively cheaper at n = 2048
+    assert ratios[-1] < ratios[0]     # advantage grows with n
+    fit = {
+        (q, s): r2
+        for q, s, r2 in zip(
+            fits.column("quantity"), fits.column("fitted shape"),
+            fits.column("R^2"),
+        )
+    }
+    assert fit[("P messages", "n log n")] > 0.999
+    assert fit[("P bits", "n log^3 n")] > 0.99

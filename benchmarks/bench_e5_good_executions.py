@@ -1,0 +1,48 @@
+"""E5 — good executions happen w.h.p. (Lemma 3).
+
+Reproduces: with a sufficient gamma, the three good-execution events
+(everyone voted-upon, distinct k values, Find-Min agreement) hold with
+probability -> 1, improving in both n and gamma.  Also reports the
+Lemma 6.1 observable (minimum Commitment pulls any agent received).
+"""
+
+from repro.experiments.e5_good_executions import E5Options, run
+
+OPTS = E5Options(
+    sizes=(64, 256, 1024),
+    gammas=(1.0, 2.0, 3.0),
+    trials=300,
+)
+
+
+def test_e5_good_executions(benchmark, emit):
+    table = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
+    emit("e5_good_executions", table)
+    rows = {
+        (n, g): rate
+        for n, g, rate in zip(
+            table.column("n"), table.column("gamma"),
+            table.column("good rate"),
+        )
+    }
+    collisions = {
+        (n, g): c
+        for n, g, c in zip(
+            table.column("n"), table.column("gamma"),
+            table.column("k collisions"),
+        )
+    }
+    # gamma >= 2 is already comfortably good at every size...
+    for n in OPTS.sizes:
+        assert rows[(n, 2.0)] > 0.95
+        assert rows[(n, 3.0)] > 0.97
+        # ...and gamma buys probability monotonically (up to MC noise).
+        assert rows[(n, 3.0)] >= rows[(n, 1.0)]
+    # "W.h.p." in n: at gamma=3 the bad-execution rate vanishes with n.
+    assert rows[(1024, 3.0)] >= rows[(64, 3.0)]
+    assert rows[(1024, 3.0)] > 0.995
+    # k-collisions follow the birthday bound n^2 / (2 m) = 1/(2n)
+    # (Lemma 3.2's w.h.p. distinctness): rare at n=64, gone at n=1024.
+    for (n, _g), c in collisions.items():
+        assert c / OPTS.trials < 4.0 / n
+    assert collisions[(1024, 3.0)] == 0

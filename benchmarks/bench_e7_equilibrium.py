@@ -1,0 +1,42 @@
+"""E7 — whp t-strong equilibrium (Theorem 7).
+
+Reproduces: for every implemented deviation strategy and coalition size,
+the members' expected-utility gain (chi = 1) is <= 0 up to Monte-Carlo
+noise.  Expected shape: lying strategies show a large NEGATIVE gain
+(detection -> protocol failure -> -chi), passive strategies show ~0 gain,
+and nothing is significantly positive.
+"""
+
+from repro.experiments.e7_equilibrium import E7Options, run
+
+OPTS = E7Options(
+    n=48,
+    minority=0.25,
+    coalition_sizes=(1, 4),
+    trials=150,
+    gamma=2.5,
+    chi=1.0,
+)
+
+
+def test_e7_equilibrium(benchmark, emit):
+    table = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
+    emit("e7_equilibrium", table)
+    # Theorem 7: no strategy is significantly profitable.
+    for profitable in table.column("profitable?"):
+        assert not profitable
+    # Lying strategies are strictly harmful (fail w.h.p. -> gain ~ -1-ish).
+    rows = dict(zip(
+        zip(table.column("strategy"), table.column("t")),
+        table.column("gain (chi=1)"),
+    ))
+    for lying in ("underbid_alter", "underbid_drop", "underbid_klie",
+                  "griefing", "pooled_gamble"):
+        assert rows[(lying, 1)] < -0.5, lying
+    # The rational pooled attack falls back to honesty: gains ~ 0 and no
+    # failures caused.
+    devf = dict(zip(
+        zip(table.column("strategy"), table.column("t")),
+        table.column("deviant fail"),
+    ))
+    assert devf[("pooled", 4)] < 0.05

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one experiment table (see DESIGN.md §4),
+prints it to the terminal (so ``pytest benchmarks/ --benchmark-only``
+output is the full results report) and archives it under ``results/``
+for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.util.tables import Table
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print rendered tables unbuffered and archive them to results/."""
+
+    def _emit(name: str, *tables: Table) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = "\n\n".join(t.render() for t in tables)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+            print()
+
+    return _emit

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Watching a rational coalition try (and fail) to steal an election.
+
+Story line of the paper in one script:
+
+1. A network where 10% of the agents support "blue"; a blue supporter
+   cheats the *naive* min-gossip election (no commitments, no
+   verification) by declaring k = 0 — he wins every single time.
+2. The same cheat against Protocol P: the forged certificate spreads
+   (k = 0 beats everyone), but Verification catches the inconsistency
+   with the committed vote intentions — the protocol fails, the cheater
+   gains nothing and everybody gets the -chi payoff.
+3. The *pooled adaptive* coalition — the strongest attack we know —
+   checks its own exposure first, finds that some honest agent holds
+   every member's commitment, and rationally plays honest instead.
+
+Usage:
+    python examples/coalition_attack.py [trials]
+"""
+
+import sys
+from collections import Counter
+
+from repro.agents.plans import plan
+from repro.baselines.naive_gossip import run_naive_gossip
+from repro.core.protocol import ProtocolConfig, run_protocol
+
+
+def main(trials: int = 30) -> None:
+    n = 64
+    colors = ["red"] * 58 + ["blue"] * 6
+    blue_ids = [i for i, c in enumerate(colors) if c == "blue"]
+    cheater = blue_ids[0]
+
+    print(f"network: {n} agents, blue = {len(blue_ids)} supporters "
+          f"({len(blue_ids)/n:.0%}); the cheater supports blue\n")
+
+    # --- Act 1: the naive protocol falls instantly --------------------
+    naive = Counter(
+        run_naive_gossip(colors, seed=s, cheaters=frozenset({cheater})).outcome
+        for s in range(trials)
+    )
+    print("1) naive min-gossip + k=0 cheater:")
+    print(f"   outcomes over {trials} runs: {dict(naive)}")
+    print(f"   -> the cheater's color won {naive['blue']}/{trials} times\n")
+
+    # --- Act 2: the same lie against Protocol P -----------------------
+    protocol = Counter(
+        run_protocol(ProtocolConfig(
+            colors=colors, gamma=3.0, seed=s,
+            deviation=plan("underbid_alter", frozenset({cheater})),
+        )).outcome
+        for s in range(trials)
+    )
+    print("2) Protocol P + the same forged-certificate lie:")
+    print(f"   outcomes over {trials} runs: "
+          f"{ {str(k): v for k, v in protocol.items()} }")
+    print(f"   -> blue won {protocol['blue']}/{trials}; "
+          f"{protocol[None]}/{trials} runs FAILED (the lie was caught; "
+          f"cheater utility = -chi)\n")
+
+    # --- Act 3: the rational coalition gives up -----------------------
+    pooled_outcomes = []
+    forged = 0
+    for s in range(trials):
+        res = run_protocol(ProtocolConfig(
+            colors=colors, gamma=3.0, seed=s,
+            deviation=plan("pooled", frozenset(blue_ids[:4])),
+        ))
+        pooled_outcomes.append(res.outcome)
+        shared = res.extras["nodes"][blue_ids[0]].shared
+        forged += shared.forged is not None
+    wins = sum(1 for o in pooled_outcomes if o == "blue")
+    print("3) Protocol P + pooled adaptive coalition (4 members):")
+    print(f"   forgeries attempted: {forged}/{trials} "
+          f"(every member was exposed by Commitment pulls -> no safe forgery)")
+    print(f"   blue wins: {wins}/{trials} "
+          f"(~= its fair share {len(blue_ids)/n:.0%}) — the coalition "
+          f"rationally played honest.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 30)

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Fault tolerance: consensus survives any constant fraction of crashes.
+
+The worst-case permanent adversary crashes alpha*n agents before round 0
+— here it deliberately targets the supporters of one color.  The script
+sweeps alpha, showing (a) the success rate and how it depends on the
+schedule constant gamma(alpha), and (b) that fairness follows the
+*active* agents: once all red supporters are crashed, blue simply wins.
+
+Usage:
+    python examples/fault_tolerance.py [n] [trials]
+"""
+
+import sys
+
+from repro.adversary.faults import color_targeted_faults
+from repro.analysis.fairness import empirical_distribution
+from repro.experiments.workloads import balanced
+from repro.fastpath.simulate import simulate_protocol_fast
+from repro.util.tables import Table
+
+
+def main(n: int = 256, trials: int = 150) -> None:
+    colors = balanced(n)
+    table = Table(
+        headers=["alpha", "gamma", "success", "P[red wins]",
+                 "red share among active"],
+        title=f"Color-targeted permanent faults, n = {n} "
+              f"(adversary crashes red supporters first)",
+    )
+    for alpha in (0.0, 0.2, 0.4, 0.6):
+        faulty = color_targeted_faults(colors, "red", alpha)
+        active = [i for i in range(n) if i not in faulty]
+        red_share = sum(1 for i in active if colors[i] == "red") / len(active)
+        for gamma in (2.0, 5.0):
+            outcomes = [
+                simulate_protocol_fast(
+                    colors, gamma=gamma, faulty=faulty, seed=1000 + s
+                ).outcome
+                for s in range(trials)
+            ]
+            success = sum(1 for o in outcomes if o is not None) / trials
+            dist = empirical_distribution(outcomes)
+            table.add_row(alpha, gamma, success,
+                          dist.get("red", 0.0), red_share)
+    print(table.render())
+    print()
+    print("Read it as: fairness tracks the red share AMONG ACTIVE agents")
+    print("(third vs fourth column), and heavy fault loads need the")
+    print("longer schedule gamma(alpha) to keep succeeding (Lemma 3).")
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 256
+    trials = int(sys.argv[2]) if len(sys.argv) > 2 else 150
+    main(n, trials)

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""The headline: o(n^2) messages — where GOSSIP beats all-to-all.
+
+Compares Protocol P's measured communication against the LOCAL-model
+commit-reveal election (the prior art's Theta(n^2) pattern) across
+network sizes, printing the crossover and the growth rates.
+
+Usage:
+    python examples/message_complexity.py
+"""
+
+from repro.baselines.local_broadcast import run_local_fair_election
+from repro.experiments.workloads import balanced
+from repro.fastpath.simulate import simulate_protocol_fast
+from repro.util.tables import Table
+
+
+def main() -> None:
+    table = Table(
+        headers=["n", "P msgs", "LOCAL msgs", "P/LOCAL", "P KiB", "LOCAL KiB",
+                 "P max msg (bits)"],
+        title="Protocol P (GOSSIP) vs commit-reveal (LOCAL), one run each",
+        floatfmt=".3g",
+    )
+    crossover = None
+    for n in (32, 64, 128, 256, 512, 1024, 2048, 4096):
+        fast = simulate_protocol_fast(balanced(n), gamma=3.0, seed=42)
+        local = run_local_fair_election(balanced(n), seed=42)
+        ratio = fast.total_messages / local.messages
+        if crossover is None and ratio < 1:
+            crossover = n
+        table.add_row(
+            n, fast.total_messages, local.messages, ratio,
+            fast.total_bits / 8192, local.total_bits / 8192,
+            fast.max_message_bits,
+        )
+    print(table.render())
+    print()
+    if crossover:
+        print(f"Protocol P sends fewer messages from n = {crossover} onward;")
+    print("P grows like n log n (messages) / n log^3 n (bits) — the LOCAL")
+    print("baseline grows like n^2.  P's largest message stays polylog")
+    print("(last column ~ log^2 n), versus the LOCAL protocol's Theta(n)")
+    print("per-agent memory for commitments.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: run Protocol P once and inspect everything it did.
+
+Builds a 100-agent network with a 60/40 red/blue split, runs one full
+execution of the rational fair consensus protocol, and prints the
+outcome, the winning agent, the good-execution report and the
+communication costs (the quantities Theorem 4 bounds).
+
+Usage:
+    python examples/quickstart.py [seed]
+"""
+
+import sys
+
+from repro import ProtocolConfig, run_protocol
+
+
+def main(seed: int = 7) -> None:
+    colors = ["red"] * 60 + ["blue"] * 40
+    config = ProtocolConfig(colors=colors, gamma=3.0, seed=seed)
+    result = run_protocol(config)
+
+    params = result.extras["params"]
+    print("=== Rational Fair Consensus — quickstart ===")
+    print(f"network size        : {config.n} agents")
+    print(f"initial support     : 60% red / 40% blue")
+    print(f"phase length q      : {params.q} rounds (gamma = {config.gamma})")
+    print()
+    print(f"outcome             : {result.outcome!r}"
+          + ("  (consensus reached)" if result.succeeded else "  (FAILED)"))
+    print(f"winning agent       : {result.winner}")
+    print(f"rounds executed     : {result.rounds}  (= 4q, fixed schedule)")
+    print()
+    print("--- good-execution report (Definition 2) ---")
+    print(f"votes per agent     : {result.good.min_votes} .. {result.good.max_votes}")
+    print(f"k-value collision   : {result.good.k_collision}")
+    print(f"Find-Min agreement  : {result.good.find_min_agreement}")
+    print()
+    print("--- communication (Theorem 4) ---")
+    m = result.metrics
+    print(f"total messages      : {m.total_messages}   (all-to-all would be {config.n * (config.n - 1)})")
+    print(f"total traffic       : {m.total_bits / 8 / 1024:.1f} KiB")
+    print(f"largest message     : {m.max_message_bits} bits  (the winning certificate)")
+    print()
+    agreeing = sum(1 for d in result.decisions.values() if d == result.outcome)
+    print(f"{agreeing}/{len(result.decisions)} active agents decided {result.outcome!r}.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 7)

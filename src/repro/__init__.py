@@ -1,0 +1,58 @@
+"""repro — Rational Fair Consensus in the GOSSIP model.
+
+A from-scratch reproduction of Clementi, Gualà, Proietti, Scornavacca,
+*Rational Fair Consensus in the GOSSIP Model* (IPDPS 2017,
+arXiv:1705.09566): the GOSSIP substrate, Protocol P, a library of
+rational deviation strategies, prior-work baselines, and the experiment
+harness regenerating every claim of the paper.
+
+Quickstart::
+
+    from repro import ProtocolConfig, run_protocol
+
+    colors = ["red"] * 60 + ["blue"] * 40
+    result = run_protocol(ProtocolConfig(colors=colors, seed=7))
+    print(result.outcome, result.metrics.total_messages)
+
+See ``examples/`` and README.md for more.
+"""
+
+from repro.core import (
+    Certificate,
+    Defenses,
+    DeviationPlan,
+    FULL_DEFENSES,
+    FailReason,
+    GoodExecutionReport,
+    NO_DEFENSES,
+    Phase,
+    ProtocolConfig,
+    ProtocolParams,
+    RunResult,
+    run_protocol,
+)
+from repro.gossip import GossipEngine, MessageMetrics, Node
+from repro.util import SeedTree, Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Certificate",
+    "Defenses",
+    "DeviationPlan",
+    "FULL_DEFENSES",
+    "FailReason",
+    "GoodExecutionReport",
+    "GossipEngine",
+    "MessageMetrics",
+    "NO_DEFENSES",
+    "Node",
+    "Phase",
+    "ProtocolConfig",
+    "ProtocolParams",
+    "RunResult",
+    "SeedTree",
+    "Table",
+    "run_protocol",
+    "__version__",
+]

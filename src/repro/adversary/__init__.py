@@ -1,0 +1,28 @@
+"""The adversary: permanent fault patterns and coalition builders.
+
+The paper's fault model is *worst-case permanent*: before round 0 an
+adversary that knows the protocol crashes up to ``alpha * n`` agents; no
+further adversarial action is allowed.  :mod:`repro.adversary.faults`
+provides representative worst-case placements.  Coalitions (the rational
+adversary of Theorem 7) are built by :mod:`repro.adversary.coalitions`.
+"""
+
+from repro.adversary.coalitions import (
+    coalition_size_schedules,
+    color_coalition,
+    random_coalition,
+)
+from repro.adversary.faults import (
+    color_targeted_faults,
+    prefix_faults,
+    random_faults,
+)
+
+__all__ = [
+    "coalition_size_schedules",
+    "color_coalition",
+    "color_targeted_faults",
+    "prefix_faults",
+    "random_coalition",
+    "random_faults",
+]

@@ -1,0 +1,59 @@
+"""Coalition builders for the equilibrium experiments.
+
+Theorem 7 covers any coalition of size ``t = o(n / log n)``.  The
+experiments sweep representative sizes (1, sqrt(n), n/log^2 n) and two
+membership structures: random members, and all supporters of one color
+(the coalition with the most aligned incentives).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Hashable, Sequence
+
+import numpy as np
+
+__all__ = ["random_coalition", "color_coalition", "coalition_size_schedules"]
+
+
+def random_coalition(
+    n: int,
+    t: int,
+    rng: np.random.Generator,
+    exclude: frozenset[int] = frozenset(),
+) -> frozenset[int]:
+    """``t`` coalition members chosen u.a.r. among non-excluded labels."""
+    pool = [i for i in range(n) if i not in exclude]
+    if t > len(pool):
+        raise ValueError(f"cannot pick {t} members from {len(pool)} candidates")
+    return frozenset(int(x) for x in rng.choice(pool, size=t, replace=False))
+
+
+def color_coalition(
+    colors: Sequence[Hashable],
+    color: Hashable,
+    t: int | None = None,
+    exclude: frozenset[int] = frozenset(),
+) -> frozenset[int]:
+    """The (first ``t``) supporters of ``color`` — maximally aligned."""
+    supporters = [
+        i for i, c in enumerate(colors) if c == color and i not in exclude
+    ]
+    if t is not None:
+        supporters = supporters[:t]
+    if not supporters:
+        raise ValueError(f"no eligible supporter of {color!r}")
+    return frozenset(supporters)
+
+
+def coalition_size_schedules() -> dict[str, Callable[[int], int]]:
+    """Named coalition-size schedules t(n) used by the E7 sweep.
+
+    All honour the theorem's ``t = o(n / log n)`` regime (the largest,
+    ``n/log^2 n``, is the canonical just-inside-the-bound choice).
+    """
+    return {
+        "single": lambda n: 1,
+        "sqrt": lambda n: max(1, math.isqrt(n)),
+        "n_over_log2": lambda n: max(1, int(n / (math.log2(n) ** 2))),
+    }

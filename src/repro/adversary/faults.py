@@ -1,0 +1,63 @@
+"""Permanent fault patterns chosen by the worst-case adversary.
+
+The adversary acts once, before round 0, knowing the protocol (but not
+the agents' future coin flips).  Because Protocol P treats all labels
+symmetrically and samples peers uniformly, *placement* of faults cannot
+matter for correctness — only the count does — but the experiment suite
+still exercises several placements to demonstrate that:
+
+* :func:`random_faults` — a random subset (the "average" adversary);
+* :func:`prefix_faults` — the lowest labels (adversary attacks the
+  tie-break order: our Find-Min breaks ties toward small labels);
+* :func:`color_targeted_faults` — crash supporters of one color first
+  (the nastiest placement for *fairness over initial supporters*; the
+  paper defines fairness over *active* agents, and E6 shows the protocol
+  is exactly fair w.r.t. the post-crash configuration).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Sequence
+
+import numpy as np
+
+__all__ = ["random_faults", "prefix_faults", "color_targeted_faults"]
+
+
+def _count(n: int, alpha: float) -> int:
+    if not 0 <= alpha < 1:
+        raise ValueError(f"fault fraction must be in [0, 1), got {alpha}")
+    count = math.floor(alpha * n)
+    if count >= n:  # defensive; alpha < 1 should prevent this
+        count = n - 1
+    return count
+
+
+def random_faults(n: int, alpha: float, rng: np.random.Generator) -> frozenset[int]:
+    """Crash ``floor(alpha * n)`` agents chosen uniformly at random."""
+    count = _count(n, alpha)
+    return frozenset(int(x) for x in rng.choice(n, size=count, replace=False))
+
+
+def prefix_faults(n: int, alpha: float) -> frozenset[int]:
+    """Crash the ``floor(alpha * n)`` smallest labels."""
+    return frozenset(range(_count(n, alpha)))
+
+
+def color_targeted_faults(
+    colors: Sequence[Hashable], target_color: Hashable, alpha: float
+) -> frozenset[int]:
+    """Crash supporters of ``target_color`` first, then fill with others.
+
+    Models an adversary trying to erase one opinion from the network
+    before the protocol starts.
+    """
+    n = len(colors)
+    count = _count(n, alpha)
+    supporters = [i for i, c in enumerate(colors) if c == target_color]
+    others = [i for i, c in enumerate(colors) if c != target_color]
+    chosen = supporters[:count]
+    if len(chosen) < count:
+        chosen.extend(others[: count - len(chosen)])
+    return frozenset(chosen)

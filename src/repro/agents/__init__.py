@@ -1,0 +1,62 @@
+"""Rational deviation strategies (the coalition's side of Theorem 7).
+
+Theorem 7 quantifies over *every* restricted protocol P'_C of a coalition
+C.  A simulation cannot enumerate all strategies, but the proof machinery
+identifies exactly the deviation surfaces that could pay off; this package
+implements the strongest concrete attack on each surface, plus a pooled
+adaptive attack that combines them, and a positive control (the same
+attacks demolish the unverified baseline — see ``repro.baselines``).
+
+==========================  =================================================
+Strategy                    Deviation surface / proof ingredient it probes
+==========================  =================================================
+:class:`SilentAgent`        Full abstention (pretend faulty everywhere);
+                            tests that shrinking A never helps a color.
+:class:`PretendFaulty-      Ignore Commitment pulls only (footnote 4's
+Agent`                      faulty-marking) but still vote.
+:class:`ForgedCertificate-  Lie about ``k`` in Find-Min: underbid with
+Agent`                      altered / dropped / fabricated votes
+                            (Verification's k and ledger checks).
+:class:`EquivocatingAgent`  Declare different intentions to different
+                            pullers (set-union ledger, Lemma 6.1).
+:class:`VoteSwitchAgent`    Vote differently than declared (alteration
+                            check at the winner's verifiers).
+:class:`GriefingAgent`      Split-brain certificates in Coherence
+                            (Lemma 6.2); pure sabotage, utility -chi.
+:class:`PooledAttackAgent`  Adaptive coalition: pool exposure knowledge,
+                            forge only votes no honest agent can check
+                            (directly probes Lemma 6 properties 1+3).
+==========================  =================================================
+
+All strategies obey the communication model (the engine enforces it); they
+only choose payloads, targets and whether to reply — the paper's feasible
+local rules.
+"""
+
+from repro.agents.base import DeviantAgent
+from repro.agents.coalition import CoalitionState
+from repro.agents.equivocate import EquivocatingAgent
+from repro.agents.griefing import GriefingAgent
+from repro.agents.plans import StrategyPlan, plan
+from repro.agents.pooled import PooledAttackAgent, PooledState
+from repro.agents.pretend_faulty import PretendFaultyAgent
+from repro.agents.silent import SilentAgent
+from repro.agents.suppress import FindMinSuppressAgent
+from repro.agents.underbid import ForgedCertificateAgent
+from repro.agents.vote_switch import VoteSwitchAgent
+
+__all__ = [
+    "CoalitionState",
+    "DeviantAgent",
+    "EquivocatingAgent",
+    "FindMinSuppressAgent",
+    "ForgedCertificateAgent",
+    "GriefingAgent",
+    "PooledAttackAgent",
+    "PooledState",
+    "PretendFaultyAgent",
+    "SilentAgent",
+    "StrategyPlan",
+    "VoteSwitchAgent",
+    "plan",
+]

@@ -1,0 +1,68 @@
+"""Base class for deviating agents.
+
+A :class:`DeviantAgent` is an :class:`~repro.core.agent.HonestAgent` with
+access to the coalition blackboard.  By default it behaves exactly like an
+honest agent (a coalition that does nothing is a valid deviation and must
+gain nothing); concrete strategies override the phase hooks they attack.
+
+The base class contributes the one observation every strategy wants:
+whenever a *non-member* pulls our intention during Commitment, the member
+is recorded as *exposed* on the blackboard.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.agents.coalition import CoalitionState
+from repro.core.agent import TOPIC_INTENTION, HonestAgent
+from repro.core.certificate import Certificate, ReceivedVote
+from repro.core.params import Phase, ProtocolParams
+from repro.gossip.node import PullResponse
+from repro.util.rng import SeedTree
+
+__all__ = ["DeviantAgent"]
+
+
+class DeviantAgent(HonestAgent):
+    """Honest behaviour plus coalition coordination hooks."""
+
+    def __init__(self, node_id: int, params: ProtocolParams, color: Hashable,
+                 seed_tree: SeedTree, shared: CoalitionState):
+        super().__init__(node_id, params, color, seed_tree)
+        self.shared = shared
+        shared.register(self)
+
+    def on_pull_request(self, requester: int, topic: str, rnd: int) -> PullResponse:
+        phase, _ = self.params.phase_of(rnd)
+        if phase is Phase.COMMITMENT and topic == TOPIC_INTENTION:
+            self.shared.record_commitment_pull(self.node_id, requester)
+        return super().on_pull_request(requester, topic, rnd)
+
+    # -- forgery helpers shared by several strategies -----------------------
+    def forge_certificate_with_k(self, target_k: int) -> Certificate:
+        """Our own certificate with one vote value rewritten so ``k``
+        equals ``target_k`` while staying self-consistent.
+
+        If we received no votes, fabricate a single vote claiming an
+        arbitrary non-member sender (the substrate prevents forging
+        sender labels *on the wire*, but nothing stops an agent from
+        *claiming* receipt inside a certificate — that claim is exactly
+        what Verification cross-checks).
+        """
+        m = self.params.m
+        votes = list(self.received_votes)
+        if votes:
+            old = votes[0]
+            delta = (target_k - Certificate.build(
+                votes, self.color, self.node_id, m).k) % m
+            votes[0] = ReceivedVote(old.voter, old.round_index,
+                                    (old.value + delta) % m)
+        else:
+            fake_voter = 0 if self.node_id != 0 else 1
+            votes = [ReceivedVote(fake_voter, 0, target_k % m)]
+        return Certificate.build(votes, self.color, self.node_id, m)
+
+    def certificate_dropping_all_votes(self) -> Certificate:
+        """Our certificate pretending ``W`` was empty (k = 0)."""
+        return Certificate.build([], self.color, self.node_id, self.params.m)

@@ -1,0 +1,48 @@
+"""Commitment equivocation: tell different pullers different intentions.
+
+The member keeps two intention lists.  It answers Commitment pulls with
+alternating versions, then votes according to version A.  The hope is to
+keep options open about what it "committed" to.
+
+Why it fails: the ledger is a set union (Algorithm 1's ``L_u := L_u ∪``).
+Any verifier that heard *both* versions can be satisfied by neither
+whenever our votes appear in the winning certificate; any verifier that
+heard only version B sees our actual (version-A) votes as altered.  Either
+way the protocol fails (utility -chi) as soon as our votes matter; if they
+never matter, the deviation was pointless.  E7 measures exactly this.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.agents.base import DeviantAgent
+from repro.agents.coalition import CoalitionState
+from repro.core.agent import TOPIC_INTENTION
+from repro.core.params import Phase, ProtocolParams
+from repro.core.votes import IntentionPayload, generate_intention
+from repro.gossip.node import PullResponse
+from repro.util.rng import SeedTree
+
+__all__ = ["EquivocatingAgent"]
+
+
+class EquivocatingAgent(DeviantAgent):
+    """Alternates between two declared intentions; votes the first."""
+
+    def __init__(self, node_id: int, params: ProtocolParams, color: Hashable,
+                 seed_tree: SeedTree, shared: CoalitionState):
+        super().__init__(node_id, params, color, seed_tree, shared)
+        self.alt_intention = generate_intention(
+            params, seed_tree.child("alt-intention").generator(), node_id
+        )
+        self._answers = 0
+
+    def on_pull_request(self, requester: int, topic: str, rnd: int) -> PullResponse:
+        phase, _ = self.params.phase_of(rnd)
+        if phase is Phase.COMMITMENT and topic == TOPIC_INTENTION:
+            self.shared.record_commitment_pull(self.node_id, requester)
+            self._answers += 1
+            chosen = self.intention if self._answers % 2 == 1 else self.alt_intention
+            return IntentionPayload(chosen, self.params.intention_bits())
+        return super().on_pull_request(requester, topic, rnd)

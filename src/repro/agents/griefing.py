@@ -1,0 +1,42 @@
+"""Griefing: sabotage the Coherence phase with split-brain certificates.
+
+The member behaves honestly until Coherence, then pushes a *bogus*
+certificate (different from the network's minimum) to random peers.
+Every honest receiver observes a certificate different from its own
+``CE_min`` and makes the protocol fail.
+
+This deviation is *effective at causing failure* — and that is the point:
+the utility model makes failure the worst outcome (``util(⊥) = -chi``),
+so griefing is strictly unprofitable for any chi > 0 and never profitable
+even at chi = 0.  The equilibrium claim is not that deviations cannot hurt
+the system, only that they cannot *pay*; E7 shows the griefer's measured
+utility drops from N(A, c)/|A| to ~ -chi.
+"""
+
+from __future__ import annotations
+
+from repro.agents.base import DeviantAgent
+from repro.core.certificate import Certificate
+from repro.core.params import Phase
+from repro.gossip.actions import Action, Push
+
+__all__ = ["GriefingAgent"]
+
+
+class GriefingAgent(DeviantAgent):
+    """Honest until Coherence; then broadcasts a conflicting certificate."""
+
+    def begin_round(self, rnd: int) -> Action | None:
+        phase, _ = self.params.phase_of(rnd)
+        if phase is Phase.COHERENCE:
+            bogus = Certificate.build(
+                [], self.color, self.node_id, self.params.m
+            )
+            return Push(self._random_peer(), self._certificate_payload(bogus))
+        return super().begin_round(rnd)
+
+    def on_push(self, sender, payload, rnd):
+        phase, _ = self.params.phase_of(rnd)
+        if phase is Phase.COHERENCE:
+            return  # the griefer does not care about coherence itself
+        super().on_push(sender, payload, rnd)

@@ -1,0 +1,195 @@
+"""The pooled adaptive coalition attack — the strongest strategy here.
+
+This strategy plays the proof of Theorem 7 *against* the protocol: it
+forges only what no honest agent can check, and falls back to honest play
+whenever forgery is detectable (a rational coalition never volunteers for
+the -chi payoff).
+
+Plan:
+
+1. **Pre-coordination** (before round 0, out of band): members rewrite
+   their vote intentions so that half of each member's votes target
+   fellow members round-robin.  These intra-coalition votes are the raw
+   material for forgery: the coalition knows both endpoints.
+2. **Commitment**: members answer pulls honestly (refusing would get them
+   faulty-marked) but log every non-member puller on the blackboard —
+   after the phase the coalition knows exactly which members are
+   *exposed* (their declared intention sits in an honest ledger).
+3. **After Voting**: the coalition searches for a member ``b`` holding a
+   received vote from an *unexposed* member ``v``.  Such a vote can be
+   rewritten freely: no honest ledger holds ``v``'s declaration, so no
+   verifier can contradict the altered value.  The coalition rewrites it
+   to make ``k_b = 0`` and circulates the forged certificate — an
+   *undetectable* win.
+4. **Fallback**: if every member is exposed (Lemma 6.1 says this happens
+   w.h.p.), the coalition plays honestly — deviating further could only
+   trigger a failure.
+
+The optional ``gamble`` mode replaces the fallback with a reckless
+alteration of an honest vote, betting that its sender was pulled by
+nobody; it loses the bet w.h.p. and shows up in E7 as a sharply negative
+utility.
+
+What E7 measures: the attack's win probability equals the probability
+that some member is unexposed — which decays as ``n^{-Theta(gamma)}``
+(property 1 of Lemma 6).  At sane γ the measured gain is ~0; lowering γ
+(E9 ablation) re-opens the window and the attack starts winning.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.agents.base import DeviantAgent
+from repro.agents.coalition import CoalitionState
+from repro.core.certificate import Certificate, CertificatePayload, ReceivedVote
+from repro.core.agent import TOPIC_CERTIFICATE
+from repro.core.params import Phase, ProtocolParams
+from repro.core.votes import PlannedVote, VoteIntention
+from repro.gossip.actions import Action, Pull, Push
+from repro.gossip.messages import Payload
+from repro.gossip.node import PullResponse
+from repro.util.rng import SeedTree
+
+__all__ = ["PooledAttackAgent", "PooledState"]
+
+
+class PooledState(CoalitionState):
+    """Blackboard extension: forgery preparation after the Voting phase."""
+
+    def __init__(self, params, members, tree):
+        super().__init__(params, members, tree)
+        self.prepared = False
+        self.forged: Certificate | None = None
+        self.designated: int | None = None
+        self.gamble = False
+
+    # ------------------------------------------------------------------
+    def prepare(self) -> None:
+        """Pick a designated winner and forge, or decide to play honest.
+
+        Called once, by whichever member reaches Find-Min first; by then
+        every member's ``W`` is complete.
+        """
+        if self.prepared:
+            return
+        self.prepared = True
+        m = self.params.m
+
+        # Prefer designating a supporter of the coalition's main color.
+        preferred = self.most_common_color()
+        candidates = sorted(
+            self.agents.values(),
+            key=lambda a: (a.color != preferred, a.node_id),
+        )
+        for agent in candidates:
+            for i, vote in enumerate(agent.received_votes):
+                if vote.voter in self.members and not self.exposed(vote.voter):
+                    votes = list(agent.received_votes)
+                    current_k = Certificate.build(
+                        votes, agent.color, agent.node_id, m
+                    ).k
+                    votes[i] = ReceivedVote(
+                        vote.voter, vote.round_index,
+                        (vote.value - current_k) % m,
+                    )
+                    self.forged = Certificate.build(
+                        votes, agent.color, agent.node_id, m
+                    )
+                    self.designated = agent.node_id
+                    return
+
+        if self.gamble:
+            # Reckless fallback: alter an honest vote and hope its sender
+            # was pulled by nobody.  Loses w.h.p. (-> protocol failure).
+            for agent in candidates:
+                if agent.received_votes:
+                    votes = list(agent.received_votes)
+                    current_k = Certificate.build(
+                        votes, agent.color, agent.node_id, m
+                    ).k
+                    v0 = votes[0]
+                    votes[0] = ReceivedVote(
+                        v0.voter, v0.round_index, (v0.value - current_k) % m
+                    )
+                    self.forged = Certificate.build(
+                        votes, agent.color, agent.node_id, m
+                    )
+                    self.designated = agent.node_id
+                    return
+        # Otherwise: every member is exposed -> play honest (rational
+        # fallback; Lemma 6.1 is what forces us here w.h.p.).
+
+
+class PooledAttackAgent(DeviantAgent):
+    """One member of the pooled adaptive coalition."""
+
+    def __init__(self, node_id: int, params: ProtocolParams, color: Hashable,
+                 seed_tree: SeedTree, shared: PooledState, *,
+                 intra_fraction: float = 0.5):
+        super().__init__(node_id, params, color, seed_tree, shared)
+        self.shared: PooledState = shared
+        self._rewrite_intention(intra_fraction)
+
+    # ------------------------------------------------------------------
+    def _rewrite_intention(self, intra_fraction: float) -> None:
+        """Aim a slice of our votes at fellow members (round-robin).
+
+        Values stay as originally drawn (uniform); only targets change.
+        This is legal: intentions are self-chosen, and we declare the
+        rewritten intention consistently to every puller.
+        """
+        others = sorted(self.shared.members - {self.node_id})
+        if not others:
+            return
+        q = self.params.q
+        n_intra = min(q, max(1, round(q * intra_fraction)))
+        votes = list(self.intention.votes)
+        # Stagger the round-robin by our label so coverage is even.
+        for slot in range(n_intra):
+            target = others[(slot + self.node_id) % len(others)]
+            votes[slot] = PlannedVote(votes[slot].value, target)
+        self.intention = VoteIntention(tuple(votes))
+
+    # ------------------------------------------------------------------
+    def begin_round(self, rnd: int) -> Action | None:
+        phase, idx = self.params.phase_of(rnd)
+        if phase is Phase.FIND_MIN:
+            if idx == 0:
+                self._ensure_certificate()
+                self.shared.prepare()
+            if self.shared.forged is not None:
+                self.min_certificate = self.shared.forged
+                return Pull(self._random_peer(), TOPIC_CERTIFICATE)
+            return super().begin_round(rnd)
+        if phase is Phase.COHERENCE and self.shared.forged is not None:
+            payload = CertificatePayload(
+                self.shared.forged, self.shared.forged.size_bits(self.params)
+            )
+            return Push(self._random_peer(), payload)
+        return super().begin_round(rnd)
+
+    def on_pull_reply(self, responder: int, payload: Payload, rnd: int) -> None:
+        phase, _ = self.params.phase_of(rnd)
+        if phase is Phase.FIND_MIN and self.shared.forged is not None:
+            return  # the forgery is the minimum; adopt nothing
+        super().on_pull_reply(responder, payload, rnd)
+
+    def on_pull_request(self, requester: int, topic: str, rnd: int) -> PullResponse:
+        if topic == TOPIC_CERTIFICATE and self.shared.forged is not None:
+            return CertificatePayload(
+                self.shared.forged, self.shared.forged.size_bits(self.params)
+            )
+        return super().on_pull_request(requester, topic, rnd)
+
+    def on_push(self, sender: int, payload: Payload, rnd: int) -> None:
+        phase, _ = self.params.phase_of(rnd)
+        if phase is Phase.COHERENCE and self.shared.forged is not None:
+            return  # never "fail": we know what we are doing
+        super().on_push(sender, payload, rnd)
+
+    def finalize(self) -> None:
+        if self.shared.forged is not None:
+            self.decision = self.shared.forged.color
+            return
+        super().finalize()

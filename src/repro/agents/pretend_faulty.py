@@ -1,0 +1,37 @@
+"""Pretend-faulty-in-Commitment: dodge the commitment, keep voting.
+
+The member ignores Commitment pulls (so every honest puller marks it
+faulty and expects *zero* votes from it, footnote 4) but still votes in
+the Voting phase, hoping to influence ``k`` values without being
+accountable to any declared intention.
+
+Why it fails (and what E7 measures): his votes land in some agents' ``W``
+sets.  If any certificate carrying such a vote wins Find-Min, every
+honest agent that pulled the member rejects it (``VOTE_FROM_FAULTY``) and
+the protocol fails — the member gains nothing and risks the -chi payoff.
+If his votes happen to reach only certificates that lose, the deviation
+changed nothing: ``k`` values remain uniform thanks to the honest votes
+(Lemma 6.3).
+"""
+
+from __future__ import annotations
+
+from repro.agents.base import DeviantAgent
+from repro.core.agent import TOPIC_INTENTION
+from repro.core.params import Phase
+from repro.gossip.messages import NO_REPLY
+from repro.gossip.node import PullResponse
+
+__all__ = ["PretendFaultyAgent"]
+
+
+class PretendFaultyAgent(DeviantAgent):
+    """Silent during Commitment pulls; honest elsewhere."""
+
+    def on_pull_request(self, requester: int, topic: str, rnd: int) -> PullResponse:
+        phase, _ = self.params.phase_of(rnd)
+        if phase is Phase.COMMITMENT and topic == TOPIC_INTENTION:
+            # No answer, hence no exposure: the puller marks us faulty
+            # instead of learning our intention.
+            return NO_REPLY
+        return super().on_pull_request(requester, topic, rnd)

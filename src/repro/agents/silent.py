@@ -1,0 +1,37 @@
+"""Full abstention: the coalition pretends to be faulty.
+
+The paper explicitly worries about this class of deviation: "a rational
+active agent can pretend to be a faulty node in some rounds, and hence the
+protocol must be robust also against this kind of (potentially
+profitable) deviations."
+
+A silent coalition shrinks the effective agent set from A to A\\C, so the
+winning distribution becomes proportional to support within A\\C.  Simple
+algebra (DESIGN.md / test_strategies.py) shows this never increases any
+member's winning probability unless *every* active agent supports the
+member's color already — abstention is weakly dominated, and the
+experiment (E7) confirms the measured gain is <= 0.
+"""
+
+from __future__ import annotations
+
+from repro.agents.base import DeviantAgent
+from repro.gossip.actions import Action
+from repro.gossip.messages import NO_REPLY
+from repro.gossip.node import PullResponse
+
+__all__ = ["SilentAgent"]
+
+
+class SilentAgent(DeviantAgent):
+    """Never acts, never replies — indistinguishable from a crashed node."""
+
+    def begin_round(self, rnd: int) -> Action | None:
+        return None
+
+    def on_pull_request(self, requester: int, topic: str, rnd: int) -> PullResponse:
+        return NO_REPLY
+
+    def finalize(self) -> None:
+        # Silent agents never decide; they free-ride on the outcome.
+        self.decision = None

@@ -1,0 +1,53 @@
+"""Find-Min suppression: passive sabotage of the dissemination phase.
+
+The member behaves honestly through Voting, then goes dark for Find-Min
+and Coherence: it answers no certificate pulls and initiates nothing.
+The hope is to stall the spread of the minimal certificate so the run
+fails (or splits) whenever the member dislikes the emerging winner.
+
+Why it fails: with ``t = o(n / log n)`` suppressors the pull-broadcast
+analysis (Lemma 3.3 with an adjusted active fraction) is unaffected —
+losing ``t`` relay nodes is indistinguishable from ``t`` extra faults,
+which the schedule already absorbs.  E7 measures: the failure rate under
+suppression stays ~0 and the winning distribution does not move.
+
+A variant (``also_coherence=False``) keeps pushing in Coherence while
+refusing Find-Min service, which is strictly weaker; the default
+suppresses both.
+"""
+
+from __future__ import annotations
+
+from repro.agents.base import DeviantAgent
+from repro.core.agent import TOPIC_CERTIFICATE
+from repro.core.params import Phase
+from repro.gossip.actions import Action
+from repro.gossip.messages import NO_REPLY
+from repro.gossip.node import PullResponse
+
+__all__ = ["FindMinSuppressAgent"]
+
+
+class FindMinSuppressAgent(DeviantAgent):
+    """Honest until Voting ends; then refuses all certificate service."""
+
+    def begin_round(self, rnd: int) -> Action | None:
+        phase, _ = self.params.phase_of(rnd)
+        if phase in (Phase.FIND_MIN, Phase.COHERENCE):
+            return None
+        return super().begin_round(rnd)
+
+    def on_pull_request(self, requester: int, topic: str, rnd: int) -> PullResponse:
+        if topic == TOPIC_CERTIFICATE:
+            return NO_REPLY
+        return super().on_pull_request(requester, topic, rnd)
+
+    def on_push(self, sender, payload, rnd):
+        phase, _ = self.params.phase_of(rnd)
+        if phase is Phase.COHERENCE:
+            return  # it does not care about coherence checks
+        super().on_push(sender, payload, rnd)
+
+    def finalize(self) -> None:
+        # Suppressors never fail themselves; they just free-ride.
+        self.decision = self.color

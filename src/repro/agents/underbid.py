@@ -1,0 +1,121 @@
+"""Underbidding Find-Min: lie about ``k`` to win the election.
+
+The winner is the agent with the minimal ``k``, so the obvious deviation
+is to declare ``k = 0``.  Since the certificate must stay self-consistent
+(``k = sum(W) mod m`` is checked by everyone), the liar must also cook the
+vote list.  Three cooking modes, each tripping a different defence:
+
+* ``alter`` — keep all received votes, rewrite one value so the sum is 0.
+  Caught by ``VOTE_ALTERED``/``VOTE_MISTARGETED`` at any verifier that
+  pulled the rewritten vote's sender in Commitment (Lemma 6.1 makes that
+  near-certain).
+* ``drop_all`` — present an empty ``W`` (k = 0).  Caught by
+  ``VOTE_OMITTED`` at any verifier that pulled *any* honest agent who
+  declared a vote for us (Lemma 6 property 3 + Claim 1).
+* ``fabricate`` — invent a vote list from scratch summing to 0.
+  Caught by the same checks, plus ``VOTE_MISTARGETED`` when fabricated
+  senders declared other targets.
+* ``klie`` — declare ``k = 0`` while keeping the genuine ``W``
+  (not even self-consistent).  Caught by the ``k = sum(W) mod m`` check
+  alone — the ablation that disables ``verify_k`` re-enables it (E9).
+
+Against the full protocol every mode yields protocol failure w.h.p.
+(utility -chi) — against the unverified baseline the same move wins with
+probability ~1 (``repro.baselines.naive_gossip``, experiment E8).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.agents.base import DeviantAgent
+from repro.agents.coalition import CoalitionState
+from repro.core.certificate import Certificate, CertificatePayload, ReceivedVote
+from repro.core.params import Phase, ProtocolParams
+from repro.gossip.actions import Action, Pull, Push
+from repro.gossip.messages import Payload
+from repro.gossip.node import PullResponse
+from repro.util.rng import SeedTree
+
+__all__ = ["ForgedCertificateAgent", "UNDERBID_MODES"]
+
+UNDERBID_MODES = ("alter", "drop_all", "fabricate", "klie")
+
+
+class ForgedCertificateAgent(DeviantAgent):
+    """Behaves honestly until Find-Min, then pushes a forged minimum."""
+
+    def __init__(self, node_id: int, params: ProtocolParams, color: Hashable,
+                 seed_tree: SeedTree, shared: CoalitionState, *,
+                 mode: str = "alter"):
+        super().__init__(node_id, params, color, seed_tree, shared)
+        if mode not in UNDERBID_MODES:
+            raise ValueError(f"unknown underbid mode {mode!r}")
+        self.mode = mode
+        self.forged: Certificate | None = None
+
+    def _forge(self) -> Certificate:
+        if self.forged is None:
+            if self.mode == "alter":
+                self.forged = self.forge_certificate_with_k(0)
+            elif self.mode == "drop_all":
+                self.forged = self.certificate_dropping_all_votes()
+            elif self.mode == "klie":
+                honest_cert = Certificate.build(
+                    self.received_votes, self.color, self.node_id,
+                    self.params.m,
+                )
+                self.forged = Certificate(
+                    0, honest_cert.votes, self.color, self.node_id
+                )
+            else:  # fabricate
+                m = self.params.m
+                voters = [v for v in range(min(3, self.params.n))
+                          if v != self.node_id][:2]
+                votes = [ReceivedVote(voters[0], 0, 0)]
+                if len(voters) > 1:
+                    votes.append(ReceivedVote(voters[1], 1, 0))
+                self.forged = Certificate.build(
+                    votes, self.color, self.node_id, m
+                )
+            # The forged certificate replaces our world view: we are
+            # certain it is the global minimum (k = 0).
+            self.certificate = self.forged
+            self.min_certificate = self.forged
+        return self.forged
+
+    # -- phase behaviour ----------------------------------------------------
+    def begin_round(self, rnd: int) -> Action | None:
+        phase, _ = self.params.phase_of(rnd)
+        if phase is Phase.FIND_MIN:
+            self._forge()
+            # Pull like an honest agent (staying silent would look odd
+            # and gains nothing); we simply never adopt anything.
+            return Pull(self._random_peer(), "CE")
+        if phase is Phase.COHERENCE:
+            cert = self._forge()
+            return Push(self._random_peer(), self._certificate_payload(cert))
+        return super().begin_round(rnd)
+
+    def on_pull_reply(self, responder: int, payload: Payload, rnd: int) -> None:
+        phase, _ = self.params.phase_of(rnd)
+        if phase is Phase.FIND_MIN:
+            return  # never adopt: our forged k=0 "wins"
+        super().on_pull_reply(responder, payload, rnd)
+
+    def on_pull_request(self, requester: int, topic: str, rnd: int) -> PullResponse:
+        if topic == "CE" and self.forged is not None:
+            return CertificatePayload(
+                self.forged, self.forged.size_bits(self.params)
+            )
+        return super().on_pull_request(requester, topic, rnd)
+
+    def on_push(self, sender: int, payload: Payload, rnd: int) -> None:
+        phase, _ = self.params.phase_of(rnd)
+        if phase is Phase.COHERENCE:
+            return  # we never "fail"; we keep pushing the forgery
+        super().on_push(sender, payload, rnd)
+
+    def finalize(self) -> None:
+        # A cheater always claims his own color.
+        self.decision = self.color

@@ -1,0 +1,52 @@
+"""Vote switching: declare honestly, vote differently.
+
+The member answers Commitment pulls with its genuine intention but pushes
+*different* values (fresh uniform draws) during the Voting phase.  The
+goal would be to manipulate the receivers' ``k`` values after seeing who
+pulls whom.
+
+Why it fails: the receivers' ``k`` stays uniform regardless (our switched
+vote is still added to at least one honest vote we cannot see —
+Lemma 6.3), and whenever a certificate carrying one of our switched votes
+wins, verifiers that pulled us in Commitment see a declared-vs-carried
+mismatch (``VOTE_ALTERED``) and fail the protocol.  Switching *targets*
+additionally triggers ``VOTE_OMITTED`` at the declared target's
+certificate.  E7 measures both failure modes.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.agents.base import DeviantAgent
+from repro.agents.coalition import CoalitionState
+from repro.core.params import Phase, ProtocolParams
+from repro.core.votes import VotePayload
+from repro.gossip.actions import Action, Push
+from repro.util.rng import SeedTree
+
+__all__ = ["VoteSwitchAgent"]
+
+
+class VoteSwitchAgent(DeviantAgent):
+    """Pushes fresh random values instead of the declared ones."""
+
+    def __init__(self, node_id: int, params: ProtocolParams, color: Hashable,
+                 seed_tree: SeedTree, shared: CoalitionState, *,
+                 switch_targets: bool = False):
+        super().__init__(node_id, params, color, seed_tree, shared)
+        self._switch_rng = seed_tree.child("switch").generator()
+        self.switch_targets = switch_targets
+
+    def begin_round(self, rnd: int) -> Action | None:
+        phase, idx = self.params.phase_of(rnd)
+        if phase is Phase.VOTING:
+            planned = self.intention[idx]
+            value = int(self._switch_rng.integers(self.params.m))
+            target = planned.target
+            if self.switch_targets:
+                target = int(self._switch_rng.integers(self.params.n - 1))
+                if target >= self.node_id:
+                    target += 1
+            return Push(target, VotePayload(value, self.params.vote_message_bits()))
+        return super().begin_round(rnd)

@@ -1,0 +1,36 @@
+"""Statistical analysis of experiment outputs.
+
+* :mod:`repro.analysis.stats` — confidence intervals and summaries;
+* :mod:`repro.analysis.fairness` — is the winning distribution the
+  initial-support distribution? (total variation, chi-square GoF);
+* :mod:`repro.analysis.equilibrium` — expected-utility estimation for
+  coalition members, honest vs deviating (Theorem 7's inequality);
+* :mod:`repro.analysis.scaling` — least-squares fits against log n and
+  log^2 n (Theorem 4's complexity shapes).
+"""
+
+from repro.analysis.equilibrium import UtilityEstimate, estimate_utility, gain
+from repro.analysis.fairness import (
+    chi_square_fairness,
+    empirical_distribution,
+    expected_distribution,
+    fail_rate,
+    total_variation,
+)
+from repro.analysis.scaling import fit_against, r_squared
+from repro.analysis.stats import mean_ci, wilson_interval
+
+__all__ = [
+    "UtilityEstimate",
+    "chi_square_fairness",
+    "empirical_distribution",
+    "estimate_utility",
+    "expected_distribution",
+    "fail_rate",
+    "fit_against",
+    "gain",
+    "mean_ci",
+    "r_squared",
+    "total_variation",
+    "wilson_interval",
+]

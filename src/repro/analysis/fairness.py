@@ -1,0 +1,99 @@
+"""Fairness analysis: is Pr[c wins] the initial active-support fraction?
+
+Theorem 4's fairness property says the winning distribution over colors
+equals the distribution of initial support among *active* agents.  Given
+a batch of run outcomes we measure:
+
+* the empirical winning distribution (failures tracked separately),
+* its total-variation distance from the expected distribution,
+* a chi-square goodness-of-fit p-value (scipy) — "not rejected at 5%"
+  is the reproduction criterion used in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from scipy import stats as _scipy_stats
+
+__all__ = [
+    "empirical_distribution",
+    "expected_distribution",
+    "total_variation",
+    "chi_square_fairness",
+    "fail_rate",
+]
+
+
+def expected_distribution(
+    colors: Sequence[Hashable], active: Iterable[int] | None = None
+) -> dict[Hashable, float]:
+    """Initial support fractions among active agents (the fairness target)."""
+    if active is None:
+        pool = list(colors)
+    else:
+        pool = [colors[i] for i in active]
+    if not pool:
+        raise ValueError("no active agent")
+    counts = Counter(pool)
+    total = len(pool)
+    return {c: counts[c] / total for c in counts}
+
+
+def empirical_distribution(
+    outcomes: Iterable[Hashable | None],
+) -> dict[Hashable, float]:
+    """Winning frequencies over *successful* runs (⊥ excluded)."""
+    wins = [o for o in outcomes if o is not None]
+    if not wins:
+        return {}
+    counts = Counter(wins)
+    total = len(wins)
+    return {c: counts[c] / total for c in counts}
+
+
+def fail_rate(outcomes: Sequence[Hashable | None]) -> float:
+    """Fraction of runs that ended in ⊥."""
+    if not outcomes:
+        raise ValueError("no outcomes")
+    return sum(1 for o in outcomes if o is None) / len(outcomes)
+
+
+def total_variation(
+    p: Mapping[Hashable, float], q: Mapping[Hashable, float]
+) -> float:
+    """Total-variation distance between two color distributions."""
+    keys = set(p) | set(q)
+    return 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in keys)
+
+
+def chi_square_fairness(
+    outcomes: Sequence[Hashable | None],
+    expected: Mapping[Hashable, float],
+) -> tuple[float, float]:
+    """Chi-square GoF of winning counts against expected fractions.
+
+    Returns ``(statistic, p-value)``.  Colors with expected probability 0
+    must not win (if one does, returns ``(inf, 0.0)``); categories are the
+    support of ``expected``.
+    """
+    wins = [o for o in outcomes if o is not None]
+    if not wins:
+        raise ValueError("no successful runs to test")
+    counts = Counter(wins)
+    unexpected = set(counts) - set(expected)
+    if unexpected or any(
+        counts.get(c, 0) > 0 and expected[c] == 0.0 for c in expected
+    ):
+        return float("inf"), 0.0
+    categories = sorted(expected, key=repr)
+    observed = [counts.get(c, 0) for c in categories]
+    probs = [expected[c] for c in categories]
+    total = sum(observed)
+    exp_counts = [p * total for p in probs]
+    # Drop zero-expected categories (scipy requires positive expectations).
+    pairs = [(o, e) for o, e in zip(observed, exp_counts) if e > 0]
+    obs, exp = zip(*pairs)
+    stat, pvalue = _scipy_stats.chisquare(obs, exp)
+    return float(stat), float(pvalue)

@@ -1,0 +1,70 @@
+"""Terminal-friendly reporting helpers (sparklines, distribution bars).
+
+The experiment tables are numbers; these helpers make trends visible in
+plain terminals without a plotting dependency.  Used by the examples and
+available to downstream users.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+__all__ = ["sparkline", "distribution_bars", "ratio_bar"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A unicode sparkline: one block character per value, min..max scaled.
+
+    >>> sparkline([1, 2, 4, 8])
+    '▁▂▄█'
+    """
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _BLOCKS[0] * len(values)
+    span = hi - lo
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[idx])
+    return "".join(out)
+
+
+def distribution_bars(
+    dist: Mapping[Hashable, float], width: int = 40
+) -> str:
+    """Horizontal bars for a probability distribution, sorted by key.
+
+    >>> print(distribution_bars({"red": 0.75, "blue": 0.25}, width=8))
+    blue  0.250 ##
+    red   0.750 ######
+    """
+    if not dist:
+        return "(empty distribution)"
+    keys = sorted(dist, key=repr)
+    label_w = max(len(str(k)) for k in keys)
+    peak = max(dist.values()) or 1.0
+    lines = []
+    for k in keys:
+        p = dist[k]
+        bar = "#" * max(0, round(width * p / peak))
+        lines.append(f"{str(k):<{label_w}}  {p:.3f} {bar}")
+    return "\n".join(lines)
+
+
+def ratio_bar(value: float, reference: float, width: int = 40,
+              label: str = "") -> str:
+    """A bar showing ``value`` relative to ``reference`` (the full width).
+
+    Useful for measured-vs-predicted comparisons.
+    """
+    if reference <= 0:
+        raise ValueError("reference must be positive")
+    frac = max(0.0, value / reference)
+    filled = min(width, round(width * frac))
+    bar = "█" * filled + "·" * (width - filled)
+    suffix = f"  {value:.4g} / {reference:.4g}"
+    return (f"{label} " if label else "") + bar + suffix

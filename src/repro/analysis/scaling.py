@@ -1,0 +1,53 @@
+"""Least-squares fits for the complexity-shape claims of Theorem 4.
+
+The reproduction criterion for "O(log n) rounds" / "O(log^2 n) bits" /
+"O(n log^3 n) communication" is a good linear fit (R^2 close to 1) of the
+measured quantity against the claimed shape, plus a visibly *bad* fit
+against the competing shapes — both are reported in the benchmark tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["fit_against", "r_squared", "SHAPES"]
+
+SHAPES: dict[str, Callable[[float], float]] = {
+    "log n": lambda n: math.log2(n),
+    "log^2 n": lambda n: math.log2(n) ** 2,
+    "log^3 n": lambda n: math.log2(n) ** 3,
+    "n": lambda n: float(n),
+    "n log n": lambda n: n * math.log2(n),
+    "n log^3 n": lambda n: n * math.log2(n) ** 3,
+    "n^2": lambda n: float(n) ** 2,
+}
+
+
+def fit_against(
+    ns: Sequence[int], values: Sequence[float], shape: str
+) -> tuple[float, float, float]:
+    """Fit ``value ~ a * shape(n) + b``; return ``(a, b, R^2)``."""
+    if shape not in SHAPES:
+        raise ValueError(f"unknown shape {shape!r}; known: {sorted(SHAPES)}")
+    if len(ns) != len(values) or len(ns) < 2:
+        raise ValueError("need >= 2 matching (n, value) pairs")
+    f = SHAPES[shape]
+    x = np.array([f(n) for n in ns], dtype=float)
+    y = np.array(values, dtype=float)
+    a, b = np.polyfit(x, y, 1)
+    predicted = a * x + b
+    return float(a), float(b), r_squared(y, predicted)
+
+
+def r_squared(actual: Sequence[float], predicted: Sequence[float]) -> float:
+    """Coefficient of determination; 1.0 for a perfect fit."""
+    y = np.asarray(actual, dtype=float)
+    p = np.asarray(predicted, dtype=float)
+    ss_res = float(((y - p) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    if ss_tot == 0:
+        return 1.0 if ss_res == 0 else 0.0
+    return 1.0 - ss_res / ss_tot

@@ -1,0 +1,48 @@
+"""Small statistics helpers (confidence intervals, summaries)."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["wilson_interval", "mean_ci"]
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Behaves sensibly at the boundaries (0 or all successes), unlike the
+    normal approximation — important because most of our measured event
+    probabilities sit near 0 or 1 (w.h.p. claims).
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must lie in [0, trials]")
+    p = successes / trials
+    denom = 1 + z ** 2 / trials
+    centre = (p + z ** 2 / (2 * trials)) / denom
+    half = (
+        z * math.sqrt(p * (1 - p) / trials + z ** 2 / (4 * trials ** 2)) / denom
+    )
+    lo = max(0.0, centre - half)
+    hi = min(1.0, centre + half)
+    # Guard against float round-off at the boundaries: the interval must
+    # always contain the maximum-likelihood estimate p.
+    if successes == trials:
+        hi = 1.0
+    if successes == 0:
+        lo = 0.0
+    return (min(lo, p), max(hi, p))
+
+
+def mean_ci(values: Sequence[float], z: float = 1.96) -> tuple[float, float]:
+    """(mean, half-width of the normal CI) of a sample."""
+    k = len(values)
+    if k == 0:
+        raise ValueError("empty sample")
+    mean = sum(values) / k
+    if k == 1:
+        return mean, float("inf")
+    var = sum((v - mean) ** 2 for v in values) / (k - 1)
+    return mean, z * math.sqrt(var / k)

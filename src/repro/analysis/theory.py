@@ -1,0 +1,125 @@
+"""Closed-form predictions from the paper's analysis, testable in code.
+
+The proofs of Lemma 3 / Lemma 6 rest on a handful of elementary
+quantities.  This module computes them exactly (or to first order) so
+tests and experiments can compare *measured* behaviour against the
+*predicted* one — a stronger reproduction statement than "the curve
+looks logarithmic":
+
+* :func:`expected_votes_per_agent` — mean of the ``X_v`` variables in
+  Lemma 3.1;
+* :func:`k_collision_probability` — the birthday bound behind
+  Lemma 3.2's "all ``k_u`` distinct w.h.p." (``m = n³`` makes it
+  ``~1/(2n)``);
+* :func:`exposure_miss_probability` — the probability that a fixed
+  agent receives **no** Commitment pull from a set of honest pullers
+  (the quantity driving Lemma 6.1, and the pooled attack's only
+  window);
+* :func:`findmin_expected_rounds` — deterministic mean-field recurrence
+  for pull-broadcast completion on the complete graph with faults (the
+  engine behind Lemma 3.3's Θ(log n));
+* :func:`chernoff_upper` / :func:`chernoff_additive` — the paper's
+  Lemma 8 bounds, verbatim.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "expected_votes_per_agent",
+    "k_collision_probability",
+    "exposure_miss_probability",
+    "findmin_expected_rounds",
+    "chernoff_upper",
+    "chernoff_additive",
+]
+
+
+def expected_votes_per_agent(n: int, q: int, n_active: int) -> float:
+    """Mean votes an agent receives: ``q`` votes from each of the active
+    agents, each aimed at one of the other ``n - 1`` labels u.a.r.
+
+    An active receiver's expectation excludes its own votes:
+    ``(n_active - 1) * q / (n - 1)``.
+    """
+    if n < 2 or not 1 <= n_active <= n or q < 1:
+        raise ValueError("need n >= 2, 1 <= n_active <= n, q >= 1")
+    return (n_active - 1) * q / (n - 1)
+
+
+def k_collision_probability(n_active: int, m: int) -> float:
+    """First-order birthday bound: P[two of ``n_active`` uniform values
+    in [m] collide] ~ C(n_active, 2) / m.
+
+    With the paper's ``m = n³`` this is ``~ 1/(2n)`` — vanishing, but
+    visible at small n (E5 measures it).
+    """
+    if n_active < 1 or m < 1:
+        raise ValueError("need n_active >= 1 and m >= 1")
+    pairs = n_active * (n_active - 1) / 2
+    return -math.expm1(-pairs / m)  # 1 - exp(-pairs/m), stable for tiny x
+
+
+def exposure_miss_probability(n: int, q: int, n_pullers: int) -> float:
+    """P[a fixed agent is pulled by none of ``n_pullers`` honest agents
+    across ``q`` Commitment rounds].
+
+    Each honest agent makes ``q`` independent uniform pulls over the
+    other ``n - 1`` labels, so the fixed agent dodges each with
+    probability ``1 - 1/(n-1)``:
+    ``(1 - 1/(n-1)) ** (q * n_pullers)``  ~  ``exp(-q n_pullers / n)``.
+    This is the per-member probability of the pooled attack's window;
+    Lemma 6.1 chooses gamma so that ``n`` times this quantity vanishes.
+    """
+    if n < 2 or q < 0 or n_pullers < 0:
+        raise ValueError("need n >= 2 and non-negative q, n_pullers")
+    return (1.0 - 1.0 / (n - 1)) ** (q * n_pullers)
+
+
+def findmin_expected_rounds(n_active: int, n: int,
+                            threshold: float = 1.0) -> int:
+    """Mean-field rounds for pull-broadcast to inform all active agents.
+
+    Each round, every uninformed active agent pulls a u.a.r. other label
+    and becomes informed iff it hits an informed (necessarily active)
+    agent: ``i_{t+1} = i_t + (a - i_t) * i_t / (n - 1)`` where ``a`` is
+    the active count.  Returns the first round where the expected number
+    of uninformed agents drops below ``threshold`` (default: one agent).
+
+    Faults slow the recurrence through the ``i_t / (n-1)`` hit rate
+    (faulty labels soak up pulls) — exactly the gamma(alpha) effect the
+    E6 sweep measures.
+    """
+    if not 1 <= n_active <= n:
+        raise ValueError("need 1 <= n_active <= n")
+    informed = 1.0
+    rounds = 0
+    # Cap generously; the recurrence converges in O(log n) for a = Θ(n).
+    cap = 50 * (int(math.log2(max(n, 2))) + 1)
+    while n_active - informed > threshold and rounds < cap:
+        informed += (n_active - informed) * informed / (n - 1)
+        rounds += 1
+    return rounds
+
+
+def chernoff_upper(mu: float, delta: float) -> float:
+    """Lemma 8.1/8.2: ``P[X > (1+delta) mu]`` for a sum of independent
+    Bernoullis with mean ``mu``.
+
+    ``exp(-delta² mu / 4)`` for ``0 < delta <= 4`` and
+    ``exp(-delta mu)`` for ``delta > 4`` — the exact split the paper
+    states.
+    """
+    if mu < 0 or delta <= 0:
+        raise ValueError("need mu >= 0 and delta > 0")
+    if delta <= 4:
+        return math.exp(-delta * delta * mu / 4.0)
+    return math.exp(-delta * mu)
+
+
+def chernoff_additive(mu: float, lam: float, n: int) -> float:
+    """Lemma 8.3: ``P[X > mu + lambda] <= exp(-2 lambda² / n)``."""
+    if lam < 0 or n < 1:
+        raise ValueError("need lambda >= 0 and n >= 1")
+    return math.exp(-2.0 * lam * lam / n)

@@ -1,0 +1,31 @@
+"""Baseline protocols the paper compares against (all built from scratch).
+
+* :mod:`repro.baselines.local_broadcast` — the prior-work comparator: a
+  LOCAL-model all-to-all commit–reveal fair leader election in the style
+  of Abraham–Dolev–Halpern (DISC'13) / Halpern–Vilaça (PODC'16).  Exact
+  fairness, but Theta(n^2) messages and Theta(n) local memory — the cost
+  the paper's protocol eliminates (E4).
+* :mod:`repro.baselines.naive_gossip` — min-gossip leader election
+  *without* commitment/verification: what Protocol P would be if it
+  dropped its defences.  Fair when everyone is honest; trivially
+  exploitable by a single underbidder (E8's positive control).
+* :mod:`repro.baselines.polling` — Hassin–Peleg proportional polling
+  (pull-voting): a light-weight fair-consensus dynamic with no rational
+  robustness and Theta(n) round complexity on the complete graph (E8).
+"""
+
+from repro.baselines.halpern_vilaca import HVResult, run_halpern_vilaca
+from repro.baselines.local_broadcast import LocalRunResult, run_local_fair_election
+from repro.baselines.naive_gossip import NaiveResult, run_naive_gossip
+from repro.baselines.polling import PollingResult, run_polling
+
+__all__ = [
+    "HVResult",
+    "LocalRunResult",
+    "NaiveResult",
+    "PollingResult",
+    "run_halpern_vilaca",
+    "run_local_fair_election",
+    "run_naive_gossip",
+    "run_polling",
+]

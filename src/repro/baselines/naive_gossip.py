@@ -1,0 +1,147 @@
+"""Naive min-gossip leader election — Protocol P minus all defences.
+
+Each active agent draws ``k_u`` u.a.r. in ``[m]`` *by itself* (no voting,
+no witnesses), attaches his color, and the network spreads the minimal
+``(k, owner)`` pair by pull gossip for ``q`` rounds.  Everyone then adopts
+the color of the minimum.  This is the "simple and natural idea" the paper
+starts from (choose a u.a.r. agent and stabilise on his color):
+
+* **cooperatively** it is a perfectly fair leader election — the minimum
+  of i.i.d. uniform draws is uniform over agents — at the same
+  O(n log n) message cost as Protocol P;
+* **rationally** it is broken: nothing stops an agent from declaring
+  ``k = 0``.  :class:`NaiveCheater` does exactly that and wins with
+  probability ~1 (E8), which is why Protocol P needs the
+  commitment/voting/verification machinery.
+
+Runs on the same GOSSIP substrate and the same accounting as Protocol P,
+so E4/E8 comparisons are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.gossip.actions import Action, Pull
+from repro.gossip.engine import GossipEngine
+from repro.gossip.messages import NO_REPLY, Blob, Payload
+from repro.gossip.node import FaultyNode, Node, PullResponse
+from repro.util.bits import bits_for_range, label_bits
+from repro.util.rng import SeedTree
+
+__all__ = ["NaiveResult", "run_naive_gossip", "NaiveHonest", "NaiveCheater"]
+
+_TOPIC = "naive-min"
+
+
+@dataclass(frozen=True)
+class NaiveResult:
+    outcome: Hashable | None
+    winner: int | None
+    messages: int
+    total_bits: int
+    max_message_bits: int
+    rounds: int
+    cheater_won: bool
+
+
+class NaiveHonest(Node):
+    """Draws k honestly; pull-gossips the minimal (k, owner, color)."""
+
+    def __init__(self, node_id: int, n: int, m: int,
+                 color: Hashable, rng: np.random.Generator):
+        super().__init__(node_id)
+        self.n = n
+        self.rng = rng
+        self.color = color
+        k = int(rng.integers(m))
+        self.best: tuple[int, int, Hashable] = (k, node_id, color)
+        self._bits = bits_for_range(m) + 2 * label_bits(n)
+
+    def _peer(self) -> int:
+        peer = int(self.rng.integers(self.n - 1))
+        return peer + 1 if peer >= self.node_id else peer
+
+    def begin_round(self, rnd: int) -> Action | None:
+        return Pull(self._peer(), _TOPIC)
+
+    def on_pull_request(self, requester: int, topic: str, rnd: int) -> PullResponse:
+        if topic == _TOPIC:
+            return Blob(self._bits, data=self.best)
+        return NO_REPLY
+
+    def on_pull_reply(self, responder: int, payload: Payload, rnd: int) -> None:
+        other = payload.data  # type: ignore[attr-defined]
+        if other[:2] < self.best[:2]:
+            self.best = other
+
+    @property
+    def decision(self) -> Hashable:
+        return self.best[2]
+
+
+class NaiveCheater(NaiveHonest):
+    """Declares k = 0 — unbeatable, and nobody can tell."""
+
+    def __init__(self, node_id: int, n: int, m: int,
+                 color: Hashable, rng: np.random.Generator):
+        super().__init__(node_id, n, m, color, rng)
+        self.best = (0, node_id, color)
+
+    def on_pull_reply(self, responder: int, payload: Payload, rnd: int) -> None:
+        return  # nothing can beat k=0 (except another cheater's label)
+
+
+def run_naive_gossip(
+    colors: Sequence[Hashable],
+    seed: int = 0,
+    gamma: float = 3.0,
+    faulty: frozenset[int] = frozenset(),
+    cheaters: frozenset[int] = frozenset(),
+) -> NaiveResult:
+    """Run the naive protocol; cheaters declare k=0."""
+    n = len(colors)
+    if n < 2:
+        raise ValueError("need at least 2 agents")
+    m = n ** 3
+    rounds = max(1, math.ceil(gamma * math.log2(n)))
+    tree = SeedTree(seed)
+
+    nodes: dict[int, Node] = {}
+    for i in range(n):
+        if i in faulty:
+            nodes[i] = FaultyNode(i)
+        elif i in cheaters:
+            nodes[i] = NaiveCheater(i, n, m, colors[i],
+                                    tree.child("agent", i).generator())
+        else:
+            nodes[i] = NaiveHonest(i, n, m, colors[i],
+                                   tree.child("agent", i).generator())
+
+    engine = GossipEngine(nodes)
+    engine.run(rounds)
+
+    honest = [
+        nodes[i] for i in range(n) if i not in faulty and i not in cheaters
+    ]
+    assert all(isinstance(a, NaiveHonest) for a in honest)
+    bests = {a.best for a in honest}  # type: ignore[union-attr]
+    if len(bests) == 1:
+        _, winner, color = next(iter(bests))
+        outcome: Hashable | None = color
+    else:
+        outcome, winner = None, None  # gossip did not converge in time
+
+    return NaiveResult(
+        outcome=outcome,
+        winner=winner,
+        messages=engine.metrics.total_messages,
+        total_bits=engine.metrics.total_bits,
+        max_message_bits=engine.metrics.max_message_bits,
+        rounds=rounds,
+        cheater_won=winner in cheaters if winner is not None else False,
+    )

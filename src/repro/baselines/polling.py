@@ -1,0 +1,114 @@
+"""Hassin–Peleg proportional polling (pull-voting dynamics).
+
+The classic light-weight fair-consensus dynamic [15]: every round, every
+active agent pulls a u.a.r. peer and adopts its current color.  On the
+complete graph the support of each color is a martingale, so the
+probability that a color wins equals its initial fraction — proportional
+agreement "for free".
+
+What it lacks, and what the experiments show:
+
+* **Speed**: absorption takes Theta(n) rounds of full-network polling on
+  the complete graph (the color-fraction random walk moves by ~1/sqrt(n)
+  per round), versus O(log n) for Protocol P — E8 measures the gap.
+* **Rational robustness**: a single *stubborn* agent that never adopts
+  makes its color the only absorbing state; with patience it wins with
+  probability ~1.  There is no certificate to audit, so nobody can tell
+  stubbornness from luck — E8's second positive control.
+
+Faulty agents are quiescent: pulls aimed at them return nothing (the
+puller keeps its color that round) and they never pull.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.util.rng import SeedTree
+
+__all__ = ["PollingResult", "run_polling"]
+
+
+@dataclass(frozen=True)
+class PollingResult:
+    outcome: Hashable | None     # consensus color, or None if not absorbed
+    rounds: int                  # rounds executed (== absorption time if converged)
+    messages: int                # pull request+reply count
+    converged: bool
+    stubborn_won: bool
+
+
+def run_polling(
+    colors: Sequence[Hashable],
+    seed: int = 0,
+    max_rounds: int | None = None,
+    faulty: frozenset[int] = frozenset(),
+    stubborn: frozenset[int] = frozenset(),
+) -> PollingResult:
+    """Run pull-voting until consensus among active agents or the cap.
+
+    Vectorised (the dynamic is memoryless, one NumPy gather per round):
+    the agent-level substrate is unnecessary here and this keeps the
+    Theta(n)-round runs cheap.
+    """
+    n = len(colors)
+    if n < 2:
+        raise ValueError("need at least 2 agents")
+    if max_rounds is None:
+        max_rounds = 40 * n  # far beyond the expected Theta(n) absorption
+
+    rng = SeedTree(seed).child("polling").generator()
+
+    palette = sorted({repr(c) for c in colors})
+    index_of = {c: palette.index(repr(c)) for c in set(colors)}
+    back = {palette.index(repr(c)): c for c in set(colors)}
+    state = np.array([index_of[c] for c in colors], dtype=np.int64)
+
+    active_mask = np.ones(n, dtype=bool)
+    for f in faulty:
+        active_mask[f] = False
+    active_idx = np.flatnonzero(active_mask)
+    follower_mask = active_mask.copy()
+    for s in stubborn:
+        follower_mask[s] = False
+    follower_idx = np.flatnonzero(follower_mask)
+
+    messages = 0
+    rounds = 0
+    for rounds in range(1, max_rounds + 1):
+        # Each follower pulls a u.a.r. *other* agent; stubborn agents
+        # also pull (to be indistinguishable) but never adopt.
+        targets = rng.integers(n - 1, size=active_idx.size)
+        targets = targets + (targets >= active_idx)
+        replied = active_mask[targets]  # pulls at faulty agents time out
+        messages += active_idx.size + int(replied.sum())
+
+        new_state = state.copy()
+        is_follower = follower_mask[active_idx]
+        adopt = replied & is_follower
+        new_state[active_idx[adopt]] = state[targets[adopt]]
+        state = new_state
+
+        if np.unique(state[active_idx]).size == 1:
+            break
+    else:
+        rounds = max_rounds
+
+    active_colors = np.unique(state[active_idx])
+    converged = active_colors.size == 1
+    outcome = back[int(active_colors[0])] if converged else None
+    stubborn_won = converged and any(
+        back[int(state[s])] == outcome for s in stubborn
+    )
+    # The follower set only matters for dynamics, not the result shape.
+    del follower_idx
+    return PollingResult(
+        outcome=outcome,
+        rounds=rounds,
+        messages=messages,
+        converged=converged,
+        stubborn_won=bool(stubborn and stubborn_won),
+    )

@@ -1,0 +1,156 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    python -m repro run         # one protocol execution, human-readable
+    python -m repro experiment  # regenerate an experiment table (E1-E10)
+    python -m repro list        # available strategies / workloads / experiments
+
+Examples::
+
+    python -m repro run --n 100 --split 60 --seed 7
+    python -m repro run --n 64 --split 90 --strategy underbid_alter --coalition 1
+    python -m repro experiment e1 --trials 200
+    python -m repro experiment e4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.agents.plans import STRATEGY_NAMES, plan
+from repro.core.protocol import ProtocolConfig, run_protocol
+from repro.experiments import workloads
+from repro.util.tables import Table
+
+__all__ = ["main", "build_parser"]
+
+
+def _experiment_registry() -> dict[str, tuple[Callable, Callable]]:
+    """name -> (options-class, run-function); imported lazily."""
+    from repro.experiments import (
+        e1_fairness, e2_rounds, e3_message_size, e4_communication,
+        e5_good_executions, e6_faults, e7_equilibrium,
+        e8_baseline_attacks, e9_ablations, e10_extensions,
+    )
+    return {
+        "e1": (e1_fairness.E1Options, e1_fairness.run),
+        "e2": (e2_rounds.E2Options, e2_rounds.run),
+        "e3": (e3_message_size.E3Options, e3_message_size.run),
+        "e4": (e4_communication.E4Options, e4_communication.run),
+        "e5": (e5_good_executions.E5Options, e5_good_executions.run),
+        "e6": (e6_faults.E6Options, e6_faults.run),
+        "e7": (e7_equilibrium.E7Options, e7_equilibrium.run),
+        "e8": (e8_baseline_attacks.E8Options, e8_baseline_attacks.run),
+        "e9": (e9_ablations.E9Options, e9_ablations.run),
+        "e10": (e10_extensions.E10Options, e10_extensions.run),
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Rational fair consensus in the GOSSIP model "
+                    "(reproduction of Clementi et al., IPDPS 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="execute Protocol P once")
+    run_p.add_argument("--n", type=int, default=100, help="network size")
+    run_p.add_argument("--split", type=float, default=60,
+                       help="percentage of agents supporting 'red' "
+                            "(the rest support 'blue')")
+    run_p.add_argument("--gamma", type=float, default=3.0,
+                       help="phase-length constant")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--faults", type=int, default=0,
+                       help="number of (prefix) permanent crashes")
+    run_p.add_argument("--strategy", choices=STRATEGY_NAMES, default=None,
+                       help="coalition strategy (see 'repro list')")
+    run_p.add_argument("--coalition", type=int, default=1,
+                       help="coalition size (blue supporters deviate)")
+
+    exp_p = sub.add_parser("experiment", help="regenerate an experiment table")
+    exp_p.add_argument("name", choices=sorted(_experiment_registry()),
+                       help="experiment id (e1..e10)")
+    exp_p.add_argument("--trials", type=int, default=None,
+                       help="override the default trial count")
+    exp_p.add_argument("--serial", action="store_true",
+                       help="disable process parallelism")
+
+    sub.add_parser("list", help="show strategies, workloads, experiments")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    reds = round(args.n * args.split / 100)
+    colors = ["red"] * reds + ["blue"] * (args.n - reds)
+    deviation = None
+    if args.strategy:
+        blues = [i for i, c in enumerate(colors) if c == "blue"]
+        if len(blues) < args.coalition:
+            print(f"error: only {len(blues)} blue supporters for a "
+                  f"coalition of {args.coalition}", file=sys.stderr)
+            return 2
+        deviation = plan(args.strategy, frozenset(blues[:args.coalition]))
+    faulty = frozenset(range(args.faults))
+    result = run_protocol(ProtocolConfig(
+        colors=colors, gamma=args.gamma, seed=args.seed,
+        faulty=faulty, deviation=deviation,
+    ))
+    table = Table(headers=["quantity", "value"],
+                  title=f"Protocol P on n={args.n} "
+                        f"({reds} red / {args.n - reds} blue)")
+    table.add_row("outcome", repr(result.outcome))
+    table.add_row("winner", result.winner)
+    table.add_row("rounds", result.rounds)
+    table.add_row("total messages", result.metrics.total_messages)
+    table.add_row("total KiB", result.metrics.total_bits / 8192)
+    table.add_row("largest message (bits)", result.metrics.max_message_bits)
+    table.add_row("good execution", result.good.is_good)
+    table.add_row("failed agents", len(result.failed_agents))
+    print(table.render())
+    return 0 if result.succeeded or deviation else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    opts_cls, run_fn = _experiment_registry()[args.name]
+    overrides = {}
+    if args.trials is not None:
+        overrides["trials"] = args.trials
+    if args.serial:
+        overrides["parallel"] = False
+    result = run_fn(opts_cls(**overrides))
+    tables = result if isinstance(result, tuple) else (result,)
+    for t in tables:
+        print(t.render())
+        print()
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("strategies:")
+    for name in STRATEGY_NAMES:
+        print(f"  {name}")
+    print("\nworkloads:")
+    for name in workloads.WORKLOADS:
+        print(f"  {name}")
+    print("\nexperiments:")
+    for name in sorted(_experiment_registry()):
+        print(f"  {name}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    return _cmd_list(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

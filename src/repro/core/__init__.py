@@ -1,0 +1,49 @@
+"""The paper's contribution: Protocol P for rational fair consensus.
+
+Implements Algorithm 1 of Clementi et al. (IPDPS 2017) on top of the
+GOSSIP substrate:
+
+==================  ========================================================
+Phase               Module
+==================  ========================================================
+Voting-Intention    :mod:`repro.core.votes` (local, at initialisation)
+Commitment          :class:`repro.core.agent.HonestAgent` + :mod:`repro.core.ledger`
+Voting              :class:`repro.core.agent.HonestAgent` + :mod:`repro.core.certificate`
+Find-Min            :class:`repro.core.agent.HonestAgent` (pull min-aggregation)
+Coherence           :class:`repro.core.agent.HonestAgent`
+Verification        :mod:`repro.core.verification` (local, at finalisation)
+==================  ========================================================
+
+The entry point is :func:`repro.core.protocol.run_protocol`.
+"""
+
+from repro.core.certificate import Certificate, ReceivedVote
+from repro.core.defenses import FULL_DEFENSES, NO_DEFENSES, Defenses
+from repro.core.ledger import Ledger
+from repro.core.outcome import FailReason, GoodExecutionReport, RunResult
+from repro.core.params import Phase, ProtocolParams
+from repro.core.protocol import DeviationPlan, ProtocolConfig, run_protocol
+from repro.core.verification import VerificationResult, verify_certificate
+from repro.core.votes import PlannedVote, VoteIntention, generate_intention
+
+__all__ = [
+    "Certificate",
+    "Defenses",
+    "DeviationPlan",
+    "FULL_DEFENSES",
+    "NO_DEFENSES",
+    "FailReason",
+    "GoodExecutionReport",
+    "Ledger",
+    "Phase",
+    "PlannedVote",
+    "ProtocolConfig",
+    "ProtocolParams",
+    "ReceivedVote",
+    "RunResult",
+    "VerificationResult",
+    "VoteIntention",
+    "generate_intention",
+    "run_protocol",
+    "verify_certificate",
+]

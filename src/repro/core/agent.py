@@ -1,0 +1,191 @@
+"""The honest agent: Algorithm 1 as a state machine over the substrate.
+
+An :class:`HonestAgent` follows Protocol P exactly:
+
+* **Voting-Intention** happens in ``__init__`` (local draw of ``H_u``);
+* **Commitment** rounds: pull a random peer's intention into the ledger;
+  serve incoming intention pulls with our own ``H_u``; mark peers that
+  time out as faulty;
+* **Voting** rounds: push the planned vote of this round; collect votes
+  received (only during this phase, as the protocol prescribes);
+* **Find-Min** rounds: build our certificate on entry, then pull random
+  peers' minimal certificates, keeping the smaller ``(k, owner)`` key;
+* **Coherence** rounds: push our minimal certificate; fail upon receiving
+  any *different* certificate;
+* **Verification** in :meth:`finalize`: accept the winner's color only if
+  the minimal certificate is consistent with our ledger.
+
+Randomness: peer choices and the vote intention come from named child
+streams of the agent's seed tree, so runs are reproducible and the
+deviation experiments can pair seeds between honest and deviating runs.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from repro.core.certificate import Certificate, CertificatePayload, ReceivedVote
+from repro.core.defenses import FULL_DEFENSES, Defenses
+from repro.core.ledger import Ledger
+from repro.core.outcome import FailReason
+from repro.core.params import Phase, ProtocolParams
+from repro.core.verification import verify_certificate
+from repro.core.votes import (
+    IntentionPayload,
+    VoteIntention,
+    VotePayload,
+    generate_intention,
+)
+from repro.gossip.actions import Action, Pull, Push
+from repro.gossip.messages import NO_REPLY, Payload
+from repro.gossip.node import Node, PullResponse
+from repro.util.rng import SeedTree
+
+__all__ = ["HonestAgent", "TOPIC_INTENTION", "TOPIC_CERTIFICATE"]
+
+TOPIC_INTENTION = "H"
+TOPIC_CERTIFICATE = "CE"
+
+
+class HonestAgent(Node):
+    """An active agent faithfully running Protocol P."""
+
+    def __init__(self, node_id: int, params: ProtocolParams, color: Hashable,
+                 seed_tree: SeedTree, *, defenses: Defenses = FULL_DEFENSES):
+        super().__init__(node_id)
+        self.params = params
+        self.color = color
+        self.defenses = defenses
+        # Independent named streams: the intention draw must not shift when
+        # peer-choice streams are consumed differently (pairing property).
+        self._peer_rng: np.random.Generator = seed_tree.child("peers").generator()
+        self.intention: VoteIntention = generate_intention(
+            params, seed_tree.child("intention").generator(), node_id
+        )
+        self.ledger = Ledger()
+        self.received_votes: list[ReceivedVote] = []
+        self.certificate: Certificate | None = None       # own CE_u
+        self.min_certificate: Certificate | None = None   # current CE_min_u
+        self.failed = False
+        self.fail_reason: FailReason | None = None
+        self.decision: Hashable | None = None
+        # Instrumentation (observer-only; never read by protocol logic):
+        self.commitment_pulls_received: list[int] = []
+
+    # ------------------------------------------------------------------
+    def _random_peer(self) -> int:
+        peer = int(self._peer_rng.integers(self.params.n - 1))
+        return peer + 1 if peer >= self.node_id else peer
+
+    def _fail(self, reason: FailReason) -> None:
+        if not self.failed:
+            self.failed = True
+            self.fail_reason = reason
+
+    def _ensure_certificate(self) -> Certificate:
+        if self.certificate is None:
+            self.certificate = Certificate.build(
+                self.received_votes, self.color, self.node_id, self.params.m
+            )
+            self.min_certificate = self.certificate
+        return self.certificate
+
+    def _certificate_payload(self, cert: Certificate) -> CertificatePayload:
+        return CertificatePayload(cert, cert.size_bits(self.params))
+
+    # -- active behaviour ----------------------------------------------
+    def begin_round(self, rnd: int) -> Action | None:
+        phase, idx = self.params.phase_of(rnd)
+        if phase is Phase.COMMITMENT:
+            if not self.defenses.commitment:
+                return None  # ablation: no commitment phase at all
+            return Pull(self._random_peer(), TOPIC_INTENTION)
+        if phase is Phase.VOTING:
+            planned = self.intention[idx]
+            return Push(
+                planned.target,
+                VotePayload(planned.value, self.params.vote_message_bits()),
+            )
+        if phase is Phase.FIND_MIN:
+            self._ensure_certificate()
+            return Pull(self._random_peer(), TOPIC_CERTIFICATE)
+        # Coherence
+        if not self.defenses.coherence:
+            return None  # ablation: no coherence phase
+        cert = self.min_certificate
+        assert cert is not None, "coherence phase reached without a certificate"
+        return Push(self._random_peer(), self._certificate_payload(cert))
+
+    # -- passive behaviour ----------------------------------------------
+    def on_pull_request(self, requester: int, topic: str, rnd: int) -> PullResponse:
+        if topic == TOPIC_INTENTION:
+            self.commitment_pulls_received.append(requester)
+            return IntentionPayload(self.intention, self.params.intention_bits())
+        if topic == TOPIC_CERTIFICATE:
+            if self.min_certificate is None:
+                # Asked before our certificate exists (only a deviant can
+                # cause this; honest agents pull certificates only in
+                # Find-Min, after everyone built theirs).
+                return NO_REPLY
+            return self._certificate_payload(self.min_certificate)
+        return NO_REPLY
+
+    def on_push(self, sender: int, payload: Payload, rnd: int) -> None:
+        phase, idx = self.params.phase_of(rnd)
+        if phase is Phase.VOTING and isinstance(payload, VotePayload):
+            self.received_votes.append(ReceivedVote(sender, idx, payload.value))
+        elif phase is Phase.COHERENCE and isinstance(payload, CertificatePayload):
+            if self.defenses.coherence and payload.certificate != self.min_certificate:
+                self._fail(FailReason.COHERENCE_MISMATCH)
+        # Any other (phase, payload) combination is outside the protocol;
+        # an honest agent ignores it.
+
+    def on_pull_reply(self, responder: int, payload: Payload, rnd: int) -> None:
+        phase, _ = self.params.phase_of(rnd)
+        if phase is Phase.COMMITMENT and isinstance(payload, IntentionPayload):
+            if isinstance(payload.intention, VoteIntention) and \
+                    len(payload.intention) == self.params.q:
+                self.ledger.record_intention(responder, payload.intention, rnd)
+            else:
+                # An unexpected reply shape counts as "replies in an
+                # unexpected way" (footnote 4): mark faulty.
+                self.ledger.record_faulty(responder)
+        elif phase is Phase.COMMITMENT:
+            self.ledger.record_faulty(responder)
+        elif phase is Phase.FIND_MIN and isinstance(payload, CertificatePayload):
+            incoming = payload.certificate
+            current = self.min_certificate
+            if current is None or incoming.sort_key < current.sort_key:
+                self.min_certificate = incoming
+
+    def on_pull_timeout(self, target: int, rnd: int) -> None:
+        phase, _ = self.params.phase_of(rnd)
+        if phase is Phase.COMMITMENT:
+            self.ledger.record_faulty(target)
+        # Find-Min timeouts (pulled a faulty agent) carry no information.
+
+    # -- verification -----------------------------------------------------
+    def finalize(self) -> None:
+        if self.failed:
+            self.decision = None
+            return
+        cert = self.min_certificate
+        if cert is None:  # cannot happen in a full run; defensive
+            self._fail(FailReason.NO_CERTIFICATE)
+            self.decision = None
+            return
+        result = verify_certificate(
+            cert,
+            self.ledger,
+            self.params,
+            check_k=self.defenses.verify_k,
+            check_ledger=self.defenses.verify_ledger,
+            check_omissions=self.defenses.verify_omissions,
+        )
+        if result.ok:
+            self.decision = cert.color
+        else:
+            self._fail(FailReason.VERIFICATION_FAILED)
+            self.decision = None

@@ -1,0 +1,82 @@
+"""Certificates ``CE_u = (k_u, W_u, c_u, u)``.
+
+After the Voting phase, agent ``u`` holds the multiset ``W_u`` of votes he
+received, computes ``k_u = sum(W_u) mod m`` and wraps everything into a
+certificate.  Certificates are the objects circulated during Find-Min and
+Coherence; the minimal one (by ``k``, ties broken by owner label — the
+paper shows ties are w.h.p. absent, Lemma 3.2) determines the winner.
+
+A received vote is identified by *(voter, round index, value)*: the round
+index lets Verification match the vote against the voter's declared
+intention slot, and the voter label is authentic because the substrate's
+secure channels attach sender labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.params import ProtocolParams
+
+__all__ = ["ReceivedVote", "Certificate", "CertificatePayload", "compute_k"]
+
+
+@dataclass(frozen=True)
+class ReceivedVote:
+    """One vote as seen by its receiver (sender label is authenticated)."""
+
+    voter: int
+    round_index: int
+    value: int
+
+
+def compute_k(votes: Iterable[ReceivedVote], m: int) -> int:
+    """``k = sum of received vote values mod m`` (0 for an empty ``W``)."""
+    return sum(v.value for v in votes) % m
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """``(k, W, c, owner)`` — immutable and order-comparable via sort_key."""
+
+    k: int
+    votes: tuple[ReceivedVote, ...]
+    color: Hashable
+    owner: int
+
+    @property
+    def sort_key(self) -> tuple[int, int]:
+        """Total order used by Find-Min: primarily ``k``, then owner label.
+
+        The paper's analysis makes ``k`` values distinct w.h.p. (m = n^3);
+        the deterministic tie-break merely keeps the simulation total.
+        """
+        return (self.k, self.owner)
+
+    def is_self_consistent(self, m: int) -> bool:
+        """Does the declared ``k`` match the carried votes (mod m)?"""
+        return 0 <= self.k < m and self.k == compute_k(self.votes, m)
+
+    def size_bits(self, params: "ProtocolParams") -> int:
+        """Encoded size under the paper's bit model (O(log^2 n) w.h.p.)."""
+        return params.certificate_bits(len(self.votes))
+
+    @staticmethod
+    def build(votes: Iterable[ReceivedVote], color: Hashable, owner: int,
+              m: int) -> "Certificate":
+        """Assemble an honest certificate from received votes."""
+        votes = tuple(sorted(votes, key=lambda v: (v.round_index, v.voter)))
+        return Certificate(compute_k(votes, m), votes, color, owner)
+
+
+@dataclass(frozen=True)
+class CertificatePayload:
+    """A certificate on the wire (Find-Min replies, Coherence pushes)."""
+
+    certificate: Certificate
+    bits: int
+
+    def size_bits(self) -> int:
+        return self.bits

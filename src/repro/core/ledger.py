@@ -1,0 +1,92 @@
+"""The Commitment-phase ledger ``L_u``.
+
+During the Commitment phase agent ``u`` pulls vote intentions from random
+peers and stores everything he hears in ``L_u``.  Two subtleties of
+Algorithm 1 are modelled faithfully:
+
+* **Faulty marking** (footnote 4): if a pulled agent does not reply, all
+  its votes are treated as zero — i.e. ``u`` expects *no* vote from it.
+  A later certificate containing a vote from such an agent is
+  inconsistent.
+* **Equivocation capture**: Algorithm 1 accumulates ``L_u := L_u ∪ ...``,
+  a *set union* — if a deviating agent declares different intentions to
+  ``u`` across two pulls, both versions end up in ``L_u`` and any
+  certificate can match at most one of them, so Verification fails.  We
+  store every distinct declared version per voter.
+
+The paper's ``h*`` (first declaration) is also retained for analysis: the
+ledger remembers the round at which each version was first recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.votes import VoteIntention
+
+__all__ = ["Ledger", "LedgerRecord"]
+
+
+@dataclass
+class LedgerRecord:
+    """Everything agent ``u`` knows about one peer's declared intention."""
+
+    versions: list[VoteIntention] = field(default_factory=list)
+    first_round: dict[int, int] = field(default_factory=dict)  # version idx -> round
+    marked_faulty: bool = False
+
+    def add_version(self, intention: VoteIntention, rnd: int) -> bool:
+        """Record a declared intention; returns True if it is a new version."""
+        for existing in self.versions:
+            if existing == intention:
+                return False
+        self.versions.append(intention)
+        self.first_round[len(self.versions) - 1] = rnd
+        return True
+
+
+class Ledger:
+    """``L_u``: declared intentions and faulty marks collected by one agent."""
+
+    def __init__(self) -> None:
+        self._records: dict[int, LedgerRecord] = {}
+
+    def _record(self, voter: int) -> LedgerRecord:
+        rec = self._records.get(voter)
+        if rec is None:
+            rec = LedgerRecord()
+            self._records[voter] = rec
+        return rec
+
+    # -- recording ----------------------------------------------------------
+    def record_intention(self, voter: int, intention: VoteIntention, rnd: int) -> None:
+        """Store a declared intention heard from ``voter`` at round ``rnd``."""
+        self._record(voter).add_version(intention, rnd)
+
+    def record_faulty(self, voter: int) -> None:
+        """Mark ``voter`` as faulty (pull timed out): expect zero votes."""
+        self._record(voter).marked_faulty = True
+
+    # -- queries ------------------------------------------------------------
+    def knows(self, voter: int) -> bool:
+        """Do we hold any information about ``voter``?"""
+        return voter in self._records
+
+    def record_for(self, voter: int) -> LedgerRecord | None:
+        return self._records.get(voter)
+
+    def voters(self) -> list[int]:
+        """All peers we pulled (successfully or not), sorted."""
+        return sorted(self._records)
+
+    def num_declared(self) -> int:
+        """How many peers gave us at least one intention."""
+        return sum(1 for r in self._records.values() if r.versions)
+
+    def num_faulty_marked(self) -> int:
+        return sum(1 for r in self._records.values() if r.marked_faulty)
+
+    def is_equivocator(self, voter: int) -> bool:
+        """Did ``voter`` give us more than one distinct version?"""
+        rec = self._records.get(voter)
+        return rec is not None and len(rec.versions) > 1

@@ -1,0 +1,75 @@
+"""Run results: outcomes, failure reasons, and good-execution reports.
+
+The outcome of one execution is an element of ``Σ ∪ {⊥}``: the winning
+color if the protocol-following active agents all decide the same color,
+or ``⊥`` (encoded as ``None``) otherwise.  The *good execution* events of
+Definitions 2 and 5 are measured by an external observer after the run
+(they are proof devices; agents never see them).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping
+
+from repro.gossip.metrics import MessageMetrics
+
+__all__ = ["FailReason", "GoodExecutionReport", "RunResult"]
+
+
+class FailReason(enum.Enum):
+    """Why an individual agent entered the invalid (failed) state."""
+
+    COHERENCE_MISMATCH = "coherence_mismatch"
+    VERIFICATION_FAILED = "verification_failed"
+    NO_CERTIFICATE = "no_certificate"
+
+
+@dataclass(frozen=True)
+class GoodExecutionReport:
+    """Observer-side measurement of the good-execution events.
+
+    Definition 2 (cooperative):
+
+    * ``min_votes``/``max_votes`` — every active agent should receive
+      Theta(log n) votes (event 1);
+    * ``k_collision`` — whether two active agents computed the same
+      ``k_u`` (event 2 asks for distinctness);
+    * ``find_min_agreement`` — whether all protocol-following agents held
+      the same minimal certificate when Find-Min ended (event 3).
+
+    ``is_good`` combines them with the paper's reading: at least one vote
+    per agent (the Theta(log n) concentration is reported via min/max),
+    no collision, full agreement.
+    """
+
+    min_votes: int
+    max_votes: int
+    k_collision: bool
+    find_min_agreement: bool
+
+    @property
+    def is_good(self) -> bool:
+        return self.min_votes >= 1 and not self.k_collision and self.find_min_agreement
+
+
+@dataclass
+class RunResult:
+    """Everything an experiment needs to know about one execution."""
+
+    n: int
+    outcome: Hashable | None           # winning color, or None for ⊥
+    winner: int | None                 # owner of the accepted certificate
+    decisions: Mapping[int, Hashable | None]  # honest agents' final colors
+    failed_agents: tuple[int, ...]
+    fail_reasons: Mapping[int, FailReason]
+    metrics: MessageMetrics
+    good: GoodExecutionReport
+    rounds: int
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def succeeded(self) -> bool:
+        """Did the network reach consensus (outcome != ⊥)?"""
+        return self.outcome is not None

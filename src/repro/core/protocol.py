@@ -1,0 +1,213 @@
+"""Orchestration: build a network, run Protocol P, extract the result.
+
+:func:`run_protocol` is the main entry point of the library.  It takes a
+:class:`ProtocolConfig` describing the initial color configuration, the
+adversary's permanent fault pattern, and (optionally) a coalition of
+rational deviators with their strategy, then:
+
+1. constructs the node map (honest / faulty / deviating agents),
+2. runs the full fixed schedule on the GOSSIP engine,
+3. computes the outcome over the protocol-following active agents
+   (the coalition cannot define the consensus; the paper's utility is a
+   function of the final configuration reached by the followers),
+4. measures the good-execution events of Definition 2 for the observer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Protocol, Sequence, runtime_checkable
+
+from repro.core.agent import HonestAgent
+from repro.core.defenses import FULL_DEFENSES, Defenses
+from repro.core.outcome import FailReason, GoodExecutionReport, RunResult
+from repro.core.params import ProtocolParams
+from repro.gossip.engine import GossipEngine
+from repro.gossip.node import FaultyNode, Node
+from repro.gossip.trace import EventTrace
+from repro.util.rng import SeedTree
+
+__all__ = ["DeviationPlan", "ProtocolConfig", "run_protocol", "build_network"]
+
+
+@runtime_checkable
+class DeviationPlan(Protocol):
+    """A coalition and the local algorithms its members run.
+
+    Concrete plans live in :mod:`repro.agents`.  ``build_shared`` creates
+    the coalition's shared knowledge object once per run (members of a
+    coalition may coordinate out of band — that is the whole point of
+    t-*strong* equilibria); ``build_agent`` instantiates one member.
+    """
+
+    members: frozenset[int]
+
+    def build_shared(self, params: ProtocolParams, tree: SeedTree) -> object: ...
+
+    def build_agent(
+        self,
+        node_id: int,
+        params: ProtocolParams,
+        color: Hashable,
+        tree: SeedTree,
+        shared: object,
+    ) -> Node: ...
+
+
+@dataclass
+class ProtocolConfig:
+    """One protocol instance: who plays, what they support, who deviates.
+
+    Parameters
+    ----------
+    colors:
+        Initial color per agent (index = label).  ``len(colors)`` is n.
+    gamma:
+        Phase-length constant (see :class:`ProtocolParams`).
+    faulty:
+        Labels crashed by the worst-case permanent adversary at round 0.
+    deviation:
+        Optional coalition strategy (labels must be active).
+    seed:
+        Root seed; all randomness derives from it deterministically.
+    defenses:
+        Defence toggles (ablations only; default: everything on).
+    collect_trace:
+        Record every message (slow; white-box tests and Def. 5 metrics).
+    """
+
+    colors: Sequence[Hashable]
+    gamma: float = 3.0
+    faulty: frozenset[int] = frozenset()
+    deviation: DeviationPlan | None = None
+    seed: int = 0
+    defenses: Defenses = FULL_DEFENSES
+    collect_trace: bool = False
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return len(self.colors)
+
+    def params(self) -> ProtocolParams:
+        return ProtocolParams(
+            n=self.n, gamma=self.gamma, num_colors=len(set(self.colors))
+        )
+
+    def honest_ids(self) -> list[int]:
+        """Active agents following Protocol P (not faulty, not deviating)."""
+        members = self.deviation.members if self.deviation else frozenset()
+        return [
+            i for i in range(self.n) if i not in self.faulty and i not in members
+        ]
+
+    def validate(self) -> None:
+        if self.n < 2:
+            raise ValueError("need at least 2 agents")
+        for label in self.faulty:
+            if not 0 <= label < self.n:
+                raise ValueError(f"faulty label {label} out of range")
+        if self.deviation is not None:
+            overlap = self.deviation.members & self.faulty
+            if overlap:
+                raise ValueError(
+                    f"coalition members {sorted(overlap)} are marked faulty"
+                )
+            for label in self.deviation.members:
+                if not 0 <= label < self.n:
+                    raise ValueError(f"coalition label {label} out of range")
+        if not self.honest_ids():
+            raise ValueError("no protocol-following active agent left")
+
+
+def build_network(config: ProtocolConfig) -> tuple[dict[int, Node], ProtocolParams, SeedTree]:
+    """Instantiate all nodes for one run (exposed for white-box tests)."""
+    config.validate()
+    params = config.params()
+    tree = SeedTree(config.seed)
+    members = config.deviation.members if config.deviation else frozenset()
+    shared = (
+        config.deviation.build_shared(params, tree.child("coalition"))
+        if config.deviation
+        else None
+    )
+    nodes: dict[int, Node] = {}
+    for i in range(config.n):
+        agent_tree = tree.child("agent", i)
+        if i in config.faulty:
+            nodes[i] = FaultyNode(i)
+        elif i in members:
+            assert config.deviation is not None
+            nodes[i] = config.deviation.build_agent(
+                i, params, config.colors[i], agent_tree, shared
+            )
+        else:
+            nodes[i] = HonestAgent(
+                i, params, config.colors[i], agent_tree,
+                defenses=config.defenses,
+            )
+    return nodes, params, tree
+
+
+def _good_execution_report(
+    honest: list[HonestAgent],
+) -> GoodExecutionReport:
+    vote_counts = [len(a.received_votes) for a in honest]
+    ks = [a.certificate.k for a in honest if a.certificate is not None]
+    collision = len(ks) != len(set(ks))
+    mins = {a.min_certificate for a in honest}
+    return GoodExecutionReport(
+        min_votes=min(vote_counts) if vote_counts else 0,
+        max_votes=max(vote_counts) if vote_counts else 0,
+        k_collision=collision,
+        find_min_agreement=(len(mins) == 1 and None not in mins),
+    )
+
+
+def run_protocol(config: ProtocolConfig) -> RunResult:
+    """Execute one full run of Protocol P and summarise it."""
+    nodes, params, _tree = build_network(config)
+    trace = EventTrace() if config.collect_trace else None
+    engine = GossipEngine(nodes, trace=trace)
+    engine.run(params.total_rounds)
+    engine.finalize()
+
+    honest_ids = config.honest_ids()
+    honest = [nodes[i] for i in honest_ids]
+    assert all(isinstance(a, HonestAgent) for a in honest)
+    honest_agents: list[HonestAgent] = honest  # type: ignore[assignment]
+
+    decisions = {a.node_id: a.decision for a in honest_agents}
+    failed = tuple(a.node_id for a in honest_agents if a.failed)
+    fail_reasons = {
+        a.node_id: a.fail_reason
+        for a in honest_agents
+        if a.fail_reason is not None
+    }
+
+    distinct = set(decisions.values())
+    if len(distinct) == 1 and None not in distinct:
+        outcome: Hashable | None = next(iter(distinct))
+        winner_certs = {a.min_certificate for a in honest_agents}
+        winner = (
+            next(iter(winner_certs)).owner if len(winner_certs) == 1 else None
+        )
+    else:
+        outcome, winner = None, None
+
+    result = RunResult(
+        n=config.n,
+        outcome=outcome,
+        winner=winner,
+        decisions=decisions,
+        failed_agents=failed,
+        fail_reasons=fail_reasons,
+        metrics=engine.metrics,
+        good=_good_execution_report(honest_agents),
+        rounds=params.total_rounds,
+    )
+    if trace is not None:
+        result.extras["trace"] = trace
+    result.extras["params"] = params
+    result.extras["nodes"] = nodes
+    return result

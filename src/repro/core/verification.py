@@ -1,0 +1,171 @@
+"""The Verification phase: checking ``CE_min`` against the local ledger.
+
+Agent ``u`` accepts the color of the minimal certificate
+``CE_min = (k, W, c, z)`` only if the certificate withstands every check
+below; otherwise the protocol fails (the agent enters the invalid state).
+
+Checks, in order:
+
+1.  **Well-formedness** — vote values in ``[m]``, round indices in
+    ``[q]``, voter labels valid and distinct from the owner, and at most
+    one vote per (voter, round) pair: the GOSSIP model physically allows
+    one push per agent per round, so duplicates are forgeries.
+2.  **k consistency** — ``k = sum(W) mod m`` (Algorithm 1's first check).
+3.  **Ledger consistency** (footnote 5, both directions):
+
+    a. *Alteration*: every vote in ``W`` whose voter appears in ``L_u``
+       must match the declared slot — same value, and the declared
+       target of that round must be the owner ``z``.  A voter marked
+       faulty in ``L_u`` (it never answered our pull) contributes zero
+       votes by definition, so any vote from it is inconsistent.
+    b. *Omission*: every declared vote aimed at ``z`` by a voter in
+       ``L_u`` (not marked faulty) must appear in ``W``.  This direction
+       is what catches a winner who drops received votes to deflate
+       ``k`` (used in the proof of Claim 1).
+    c. *Equivocation*: if ``L_u`` holds two distinct declared versions
+       for some voter, no certificate can be consistent with both; the
+       check fails as soon as either version mismatches, so equivocators
+       are caught whenever their votes matter.
+
+Returns a :class:`VerificationResult` naming the first violated rule —
+the reason codes drive the ablation experiments (E9).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.certificate import Certificate, compute_k
+from repro.core.ledger import Ledger
+from repro.core.params import ProtocolParams
+
+__all__ = ["VerificationCode", "VerificationResult", "verify_certificate"]
+
+
+class VerificationCode(enum.Enum):
+    OK = "ok"
+    MALFORMED = "malformed"
+    DUPLICATE_VOTE = "duplicate_vote"
+    K_MISMATCH = "k_mismatch"
+    VOTE_FROM_FAULTY = "vote_from_faulty"
+    VOTE_ALTERED = "vote_altered"
+    VOTE_MISTARGETED = "vote_mistargeted"
+    VOTE_OMITTED = "vote_omitted"
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Outcome of verifying one certificate against one ledger."""
+
+    code: VerificationCode
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.code is VerificationCode.OK
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def _check_well_formed(cert: Certificate, params: ProtocolParams) -> VerificationResult | None:
+    seen: set[tuple[int, int]] = set()
+    for v in cert.votes:
+        if not (0 <= v.value < params.m):
+            return VerificationResult(
+                VerificationCode.MALFORMED, f"vote value {v.value} outside [m]"
+            )
+        if not (0 <= v.round_index < params.q):
+            return VerificationResult(
+                VerificationCode.MALFORMED, f"round index {v.round_index} outside [q]"
+            )
+        if not (0 <= v.voter < params.n) or v.voter == cert.owner:
+            return VerificationResult(
+                VerificationCode.MALFORMED, f"invalid voter label {v.voter}"
+            )
+        key = (v.voter, v.round_index)
+        if key in seen:
+            return VerificationResult(
+                VerificationCode.DUPLICATE_VOTE,
+                f"two votes from agent {v.voter} in round {v.round_index}",
+            )
+        seen.add(key)
+    if not (0 <= cert.owner < params.n):
+        return VerificationResult(
+            VerificationCode.MALFORMED, f"invalid owner label {cert.owner}"
+        )
+    return None
+
+
+def verify_certificate(
+    cert: Certificate,
+    ledger: Ledger,
+    params: ProtocolParams,
+    *,
+    check_k: bool = True,
+    check_ledger: bool = True,
+    check_omissions: bool = True,
+) -> VerificationResult:
+    """Run the Verification phase for one agent.
+
+    The ``check_*`` switches exist only for the ablation experiments
+    (E9); the protocol always runs with all checks on.
+    """
+    bad = _check_well_formed(cert, params)
+    if bad is not None:
+        return bad
+
+    if check_k and cert.k != compute_k(cert.votes, params.m):
+        return VerificationResult(
+            VerificationCode.K_MISMATCH,
+            f"declared k={cert.k}, votes sum to {compute_k(cert.votes, params.m)}",
+        )
+
+    if not check_ledger:
+        return VerificationResult(VerificationCode.OK)
+
+    votes_by_voter: dict[int, dict[int, int]] = {}
+    for v in cert.votes:
+        votes_by_voter.setdefault(v.voter, {})[v.round_index] = v.value
+
+    for voter in ledger.voters():
+        rec = ledger.record_for(voter)
+        assert rec is not None
+        present = votes_by_voter.get(voter, {})
+
+        if rec.marked_faulty and present:
+            return VerificationResult(
+                VerificationCode.VOTE_FROM_FAULTY,
+                f"certificate carries votes from agent {voter}, "
+                f"which did not answer our Commitment pull",
+            )
+
+        for version in rec.versions:
+            # Direction (a): every carried vote must match the declaration.
+            for rnd_idx, value in present.items():
+                declared = version[rnd_idx]
+                if declared.target != cert.owner:
+                    return VerificationResult(
+                        VerificationCode.VOTE_MISTARGETED,
+                        f"agent {voter} declared round-{rnd_idx} vote for "
+                        f"{declared.target}, certificate claims it went to "
+                        f"{cert.owner}",
+                    )
+                if declared.value != value:
+                    return VerificationResult(
+                        VerificationCode.VOTE_ALTERED,
+                        f"agent {voter} declared value {declared.value} for "
+                        f"round {rnd_idx}, certificate carries {value}",
+                    )
+            # Direction (b): every declared vote for the owner must appear.
+            if check_omissions and not rec.marked_faulty:
+                for rnd_idx, value in version.votes_for(cert.owner):
+                    if present.get(rnd_idx) != value:
+                        return VerificationResult(
+                            VerificationCode.VOTE_OMITTED,
+                            f"agent {voter} declared a round-{rnd_idx} vote of "
+                            f"{value} for the owner, missing from certificate",
+                        )
+
+    return VerificationResult(VerificationCode.OK)

@@ -1,0 +1,106 @@
+"""Vote intentions (the Voting-Intention phase) and vote payloads.
+
+At initialisation every agent ``u`` draws his *vote intention*
+``H_u = ((h_{u,0}, z_{u,0}), ..., (h_{u,q-1}, z_{u,q-1}))``: for each of
+the ``q`` voting rounds, a vote value ``h`` chosen u.a.r. in ``[m]`` and a
+target agent ``z`` chosen u.a.r. among the other agents.
+
+.. note::
+   The paper samples targets u.a.r. in ``[n]`` (which includes ``u``
+   itself); the GOSSIP substrate forbids self-gossip, so we sample from
+   the remaining ``n - 1`` labels.  A self-vote would simply add a value
+   the agent knows to his own ``k_u``; excluding it changes nothing in
+   the analysis (``k_u`` stays uniform thanks to the other votes) and is
+   the standard reading of "contact a neighbor" on a self-loop-free
+   complete graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.params import ProtocolParams
+
+__all__ = [
+    "PlannedVote",
+    "VoteIntention",
+    "generate_intention",
+    "IntentionPayload",
+    "VotePayload",
+]
+
+
+@dataclass(frozen=True)
+class PlannedVote:
+    """One planned vote: push value ``value`` to agent ``target``."""
+
+    value: int
+    target: int
+
+
+@dataclass(frozen=True)
+class VoteIntention:
+    """An agent's full voting plan ``H_u`` (one planned vote per round)."""
+
+    votes: tuple[PlannedVote, ...]
+
+    def __len__(self) -> int:
+        return len(self.votes)
+
+    def __iter__(self) -> Iterator[PlannedVote]:
+        return iter(self.votes)
+
+    def __getitem__(self, idx: int) -> PlannedVote:
+        return self.votes[idx]
+
+    def votes_for(self, target: int) -> list[tuple[int, int]]:
+        """All ``(round_index, value)`` pairs aimed at ``target``."""
+        return [
+            (j, pv.value) for j, pv in enumerate(self.votes) if pv.target == target
+        ]
+
+
+def generate_intention(
+    params: "ProtocolParams", rng: np.random.Generator, self_id: int
+) -> VoteIntention:
+    """Draw ``H_u`` uniformly: values in ``[m]``, targets != ``self_id``."""
+    q, n, m = params.q, params.n, params.m
+    values = rng.integers(m, size=q)
+    raw_targets = rng.integers(n - 1, size=q)
+    votes = []
+    for j in range(q):
+        target = int(raw_targets[j])
+        if target >= self_id:
+            target += 1
+        votes.append(PlannedVote(int(values[j]), target))
+    return VoteIntention(tuple(votes))
+
+
+# ---------------------------------------------------------------------------
+# Payloads exchanged on the wire
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class IntentionPayload:
+    """Reply to a Commitment-phase pull: a full copy of ``H_u``."""
+
+    intention: VoteIntention
+    bits: int
+
+    def size_bits(self) -> int:
+        return self.bits
+
+
+@dataclass(frozen=True)
+class VotePayload:
+    """A Voting-phase push: one vote value in ``[m]``."""
+
+    value: int
+    bits: int
+
+    def size_bits(self) -> int:
+        return self.bits

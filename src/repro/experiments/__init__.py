@@ -1,0 +1,26 @@
+"""The experiment harness: one module per claim of the paper.
+
+Every experiment exposes a ``run(options) -> Table`` (some return several
+tables) and is wired to a benchmark in ``benchmarks/``; EXPERIMENTS.md
+records the measured tables next to the paper's claims.
+
+===========  ==============================================================
+Experiment   Claim
+===========  ==============================================================
+E1           Theorem 4 — fairness of the winning distribution
+E2           Theorem 4 — O(log n) rounds
+E3           Theorem 4 — O(log^2 n) message size
+E4           headline — o(n^2) messages vs LOCAL baselines
+E5           Lemma 3 — good executions happen w.h.p.
+E6           Theorem 4 — tolerance of alpha*n worst-case permanent faults
+E7           Theorem 7 — whp t-strong equilibrium (deviation gains <= 0)
+E8           motivation — undefended baselines are exploitable
+E9           ablations — each defence layer is necessary
+E10          conclusions — other graphs; sequential GOSSIP
+===========  ==============================================================
+"""
+
+from repro.experiments import workloads
+from repro.experiments.runner import run_trials
+
+__all__ = ["run_trials", "workloads"]

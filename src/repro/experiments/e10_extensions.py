@@ -1,0 +1,109 @@
+"""E10 — the open problems: other graphs; the sequential GOSSIP model.
+
+Part A (topologies): Protocol P with neighbour-restricted gossip on
+Erdős–Rényi graphs of decreasing density, a random-regular graph and a
+ring.  Measured: success rate, agents with zero votes (the fairness
+hazard), and silent splits.  Expected shape: dense graphs behave like
+the complete graph; sparse/high-diameter graphs break termination
+(Find-Min can't finish in O(log n)) before they break fairness.
+
+Part B (sequential model): ticks for async min-aggregation to converge,
+normalised by n log2 n (the classic sequential-gossip bound), and the
+async fair-leader-election convergence rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import networkx as nx
+
+from repro.analysis.stats import mean_ci
+from repro.experiments.runner import run_trials
+from repro.experiments.workloads import balanced
+from repro.extensions.async_gossip import async_min_ticks, run_async_leader_election
+from repro.extensions.topologies import run_graph_protocol
+from repro.util.rng import SeedTree
+from repro.util.tables import Table
+
+__all__ = ["E10Options", "run"]
+
+
+@dataclass(frozen=True)
+class E10Options:
+    n: int = 64
+    trials: int = 30
+    gamma: float = 3.0
+    async_sizes: Sequence[int] = (64, 256, 1024)
+    seed: int = 1010
+    parallel: bool = True
+
+
+def _graph(kind: str, n: int, seed: int) -> nx.Graph:
+    if kind == "complete":
+        return nx.complete_graph(n)
+    if kind == "er_dense":
+        return nx.gnp_random_graph(n, 0.5, seed=seed)
+    if kind == "er_sparse":
+        p = 3 * math.log(n) / n  # just above the connectivity threshold
+        return nx.gnp_random_graph(n, p, seed=seed)
+    if kind == "regular8":
+        return nx.random_regular_graph(8, n, seed=seed)
+    if kind == "ring":
+        return nx.cycle_graph(n)
+    raise ValueError(f"unknown graph kind {kind!r}")
+
+
+def _ensure_connected(g: nx.Graph, n: int) -> nx.Graph:
+    """Patch isolated/disconnected parts with a Hamiltonian cycle."""
+    for i in range(n):
+        g.add_edge(i, (i + 1) % n)
+    return g
+
+
+def _graph_trial(args: tuple[str, int, float, int]) -> tuple[bool, int, bool]:
+    kind, n, gamma, seed = args
+    g = _ensure_connected(_graph(kind, n, seed), n)
+    res = run_graph_protocol(g, balanced(n), gamma=gamma, seed=seed)
+    return res.outcome is not None, res.zero_vote_agents, res.split
+
+
+def _async_trial(args: tuple[int, int]) -> tuple[float, bool]:
+    n, seed = args
+    rng = SeedTree(seed).child("vals").generator()
+    values = rng.integers(n ** 3, size=n).astype(float).tolist()
+    ticks = async_min_ticks(values, seed=seed)
+    election = run_async_leader_election(balanced(n), seed=seed)
+    return ticks / (n * math.log2(n)), election.converged
+
+
+def run(opts: E10Options = E10Options()) -> tuple[Table, Table]:
+    topo = Table(
+        headers=["graph", "success rate", "mean zero-vote agents",
+                 "silent split rate"],
+        title=f"E10a  Protocol P on other graphs (n = {opts.n})",
+    )
+    for kind in ("complete", "er_dense", "regular8", "er_sparse", "ring"):
+        args = [
+            (kind, opts.n, opts.gamma, opts.seed + 41 * i)
+            for i in range(opts.trials)
+        ]
+        rows = run_trials(_graph_trial, args, parallel=opts.parallel)
+        success = sum(1 for ok, _, _ in rows if ok)
+        zero, _ = mean_ci([z for _, z, _ in rows])
+        splits = sum(1 for _, _, s in rows if s)
+        topo.add_row(kind, success / opts.trials, zero, splits / opts.trials)
+
+    asy = Table(
+        headers=["n", "min-agg ticks / (n log2 n)", "async election converged"],
+        title="E10b  Sequential GOSSIP (one random agent awake per tick)",
+    )
+    for n in opts.async_sizes:
+        args = [(n, opts.seed + 43 * i) for i in range(max(5, opts.trials // 3))]
+        rows = run_trials(_async_trial, args, parallel=opts.parallel)
+        ratio, _ = mean_ci([r for r, _ in rows])
+        conv = sum(1 for _, c in rows if c)
+        asy.add_row(n, ratio, f"{conv}/{len(rows)}")
+    return topo, asy

@@ -1,0 +1,107 @@
+"""E1 — Theorem 4 (fairness): the winning distribution tracks support.
+
+For each workload and network size, run many honest executions and
+compare the empirical winning distribution to the initial support
+fractions:
+
+* **total-variation distance**, reported next to its *noise floor* — the
+  expected TV of a perfectly fair multinomial sample of the same size
+  (many-category workloads such as leader election have a large floor;
+  fairness is evidenced by the measured TV sitting at the floor, not at
+  zero);
+* a **chi-square goodness-of-fit p-value**.  For leader election (n
+  categories, expected counts below the chi-square validity threshold)
+  winners are binned into 8 label groups of equal expected mass first.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from scipy import stats as _scipy_stats
+
+from repro.analysis.fairness import (
+    chi_square_fairness,
+    empirical_distribution,
+    expected_distribution,
+    fail_rate,
+    total_variation,
+)
+from repro.experiments.runner import run_trials
+from repro.experiments.workloads import WORKLOADS
+from repro.fastpath.simulate import simulate_protocol_fast
+from repro.util.tables import Table
+
+__all__ = ["E1Options", "run", "tv_noise_floor"]
+
+
+@dataclass(frozen=True)
+class E1Options:
+    sizes: Sequence[int] = (64, 128, 256)
+    workloads: Sequence[str] = ("balanced", "skewed", "multiway", "leader_election")
+    trials: int = 400
+    gamma: float = 3.0
+    seed: int = 2017
+    parallel: bool = True
+
+
+def tv_noise_floor(expected: dict[Hashable, float], trials: int) -> float:
+    """Expected TV of a fair multinomial sample vs its own distribution.
+
+    For each category, ``E|p_hat - p| ~ sqrt(2 p (1-p) / (pi N))`` (normal
+    approximation); TV is half the sum.  This is the distance a *perfectly
+    fair* protocol would be expected to show — the reproduction criterion
+    is "measured TV comparable to the floor", not "TV == 0".
+    """
+    return 0.5 * sum(
+        math.sqrt(2.0 * p * (1.0 - p) / (math.pi * trials))
+        for p in expected.values()
+    )
+
+
+def _binned_uniform_pvalue(outcomes, n: int, bins: int = 8) -> float:
+    """Chi-square for leader election: bin the n winner labels."""
+    winners = [int(str(o)[2:]) for o in outcomes if o is not None]
+    if not winners:
+        raise ValueError("no successful runs")
+    counts = Counter(min(bins - 1, w * bins // n) for w in winners)
+    observed = [counts.get(b, 0) for b in range(bins)]
+    expected = [len(winners) / bins] * bins
+    _stat, pvalue = _scipy_stats.chisquare(observed, expected)
+    return float(pvalue)
+
+
+def _trial(args: tuple[str, int, float, int]) -> Hashable | None:
+    workload, n, gamma, seed = args
+    colors = WORKLOADS[workload](n)
+    return simulate_protocol_fast(colors, gamma=gamma, seed=seed).outcome
+
+
+def run(opts: E1Options = E1Options()) -> Table:
+    table = Table(
+        headers=["workload", "n", "trials", "fail_rate", "TV distance",
+                 "TV noise floor", "chi2 p-value", "fair at 5%?"],
+        title="E1  Fairness of the winning distribution (Theorem 4)",
+    )
+    for workload in opts.workloads:
+        for n in opts.sizes:
+            args = [
+                (workload, n, opts.gamma, opts.seed + 1000 * i)
+                for i in range(opts.trials)
+            ]
+            outcomes = run_trials(_trial, args, parallel=opts.parallel)
+            expected = expected_distribution(WORKLOADS[workload](n))
+            tv = total_variation(empirical_distribution(outcomes), expected)
+            floor = tv_noise_floor(expected, opts.trials)
+            if workload == "leader_election":
+                pvalue = _binned_uniform_pvalue(outcomes, n)
+            else:
+                pvalue = chi_square_fairness(outcomes, expected)[1]
+            table.add_row(
+                workload, n, opts.trials, fail_rate(outcomes), tv, floor,
+                pvalue, pvalue > 0.05,
+            )
+    return table

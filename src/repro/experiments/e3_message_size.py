@@ -1,0 +1,63 @@
+"""E3 — Theorem 4 (message size): the largest message is O(log^2 n) bits.
+
+The largest message of a run is the biggest certificate transmitted: the
+most-voted agent's certificate carries Theta(log n) votes of Theta(log n)
+bits each.  We measure the per-run maximum message size across n and fit
+it against log^2 n (expected winner) with log n and n as controls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.scaling import fit_against
+from repro.analysis.stats import mean_ci
+from repro.experiments.runner import run_trials
+from repro.experiments.workloads import balanced
+from repro.fastpath.simulate import simulate_protocol_fast
+from repro.util.tables import Table
+
+__all__ = ["E3Options", "run"]
+
+
+@dataclass(frozen=True)
+class E3Options:
+    sizes: Sequence[int] = (64, 128, 256, 512, 1024, 2048, 4096)
+    trials: int = 60
+    gamma: float = 3.0
+    seed: int = 3303
+    parallel: bool = True
+
+
+def _trial(args: tuple[int, float, int]) -> tuple[int, int]:
+    n, gamma, seed = args
+    res = simulate_protocol_fast(balanced(n), gamma=gamma, seed=seed)
+    return res.max_message_bits, res.max_votes
+
+
+def run(opts: E3Options = E3Options()) -> tuple[Table, Table]:
+    main = Table(
+        headers=["n", "max message bits (mean)", "max message bits (max)",
+                 "max votes/agent (mean)"],
+        title="E3  Message size (Theorem 4: O(log^2 n) bits)",
+    )
+    means = []
+    for n in opts.sizes:
+        args = [(n, opts.gamma, opts.seed + 11 * i) for i in range(opts.trials)]
+        rows = run_trials(_trial, args, parallel=opts.parallel)
+        bits = [r[0] for r in rows]
+        votes = [r[1] for r in rows]
+        mean_bits, _ = mean_ci(bits)
+        mean_votes, _ = mean_ci(votes)
+        main.add_row(n, mean_bits, max(bits), mean_votes)
+        means.append(mean_bits)
+
+    fits = Table(
+        headers=["fitted shape", "slope", "intercept", "R^2"],
+        title="E3  Shape fits (log^2 n should win)",
+    )
+    for shape in ("log^2 n", "log n", "n"):
+        a, b, r2 = fit_against(list(opts.sizes), means, shape)
+        fits.add_row(shape, a, b, r2)
+    return main, fits

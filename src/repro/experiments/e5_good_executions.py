@@ -1,0 +1,70 @@
+"""E5 — Lemma 3: executions are good w.h.p. (and gamma buys probability).
+
+A good execution (Definition 2) requires: every active agent receives
+Theta(log n) votes, all k values distinct, Find-Min reaches everyone.
+We measure the rate of each event across n and gamma; the claim's shape
+is a *decreasing* bad-execution rate in n (for fixed sufficient gamma)
+and in gamma (for fixed n).  The Lemma 6.1 observable — the minimum
+number of Commitment pulls any agent received — is reported too, since
+the equilibrium argument rides on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.stats import wilson_interval
+from repro.experiments.runner import run_trials
+from repro.experiments.workloads import balanced
+from repro.fastpath.simulate import simulate_protocol_fast
+from repro.util.tables import Table
+
+__all__ = ["E5Options", "run"]
+
+
+@dataclass(frozen=True)
+class E5Options:
+    sizes: Sequence[int] = (64, 256, 1024)
+    gammas: Sequence[float] = (1.0, 2.0, 3.0)
+    trials: int = 300
+    seed: int = 5505
+    parallel: bool = True
+
+
+def _trial(args: tuple[int, float, int]) -> tuple[bool, bool, bool, int, int]:
+    n, gamma, seed = args
+    res = simulate_protocol_fast(balanced(n), gamma=gamma, seed=seed)
+    return (
+        res.is_good,
+        res.k_collision,
+        res.find_min_agreement,
+        res.min_votes,
+        res.min_commitment_pulls_received,
+    )
+
+
+def run(opts: E5Options = E5Options()) -> Table:
+    table = Table(
+        headers=["n", "gamma", "good rate", "good 95% CI low",
+                 "k collisions", "find-min agreed", "min votes seen",
+                 "min commit pulls seen"],
+        title="E5  Good executions (Lemma 3) and coverage (Lemma 6.1)",
+    )
+    for n in opts.sizes:
+        for gamma in opts.gammas:
+            args = [
+                (n, gamma, opts.seed + 17 * i) for i in range(opts.trials)
+            ]
+            rows = run_trials(_trial, args, parallel=opts.parallel)
+            good = sum(1 for r in rows if r[0])
+            collisions = sum(1 for r in rows if r[1])
+            agreed = sum(1 for r in rows if r[2])
+            lo, _hi = wilson_interval(good, opts.trials)
+            table.add_row(
+                n, gamma, good / opts.trials, lo, collisions,
+                f"{agreed}/{opts.trials}",
+                min(r[3] for r in rows),
+                min(r[4] for r in rows),
+            )
+    return table

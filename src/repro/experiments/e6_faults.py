@@ -1,0 +1,93 @@
+"""E6 — worst-case permanent faults: any constant alpha < 1 is tolerated.
+
+Sweep the fault fraction alpha and the placement (random vs
+color-targeted — the adversary crashing one opinion's supporters first)
+and measure: success rate, and fairness *relative to the active agents*
+(the paper defines fairness over A, not over the initial n).  The shape:
+success stays w.h.p. for every alpha given gamma = gamma(alpha) — larger
+alpha needs larger gamma, which the table makes visible by including a
+gamma too small for the heavy-fault rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.adversary.faults import color_targeted_faults, random_faults
+from repro.analysis.fairness import (
+    empirical_distribution,
+    expected_distribution,
+    fail_rate,
+    total_variation,
+)
+from repro.experiments.runner import run_trials
+from repro.experiments.workloads import balanced
+from repro.fastpath.simulate import simulate_protocol_fast
+from repro.util.rng import SeedTree
+from repro.util.tables import Table
+
+__all__ = ["E6Options", "run"]
+
+
+@dataclass(frozen=True)
+class E6Options:
+    n: int = 256
+    alphas: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8)
+    gammas: Sequence[float] = (2.0, 4.0)
+    placements: Sequence[str] = ("random", "color_targeted")
+    trials: int = 200
+    seed: int = 6606
+    parallel: bool = True
+
+
+def _faults(placement: str, colors, alpha: float, seed: int) -> frozenset[int]:
+    if placement == "random":
+        rng = SeedTree(seed).child("faults").generator()
+        return random_faults(len(colors), alpha, rng)
+    return color_targeted_faults(colors, "red", alpha)
+
+
+def _trial(
+    args: tuple[int, float, float, str, int]
+) -> tuple[Hashable | None, frozenset[int]]:
+    n, alpha, gamma, placement, seed = args
+    colors = balanced(n)
+    faulty = _faults(placement, colors, alpha, seed)
+    res = simulate_protocol_fast(colors, gamma=gamma, faulty=faulty, seed=seed)
+    return res.outcome, faulty
+
+
+def run(opts: E6Options = E6Options()) -> Table:
+    table = Table(
+        headers=["placement", "alpha", "gamma", "success rate",
+                 "TV vs active support", "mean active frac 'red'"],
+        title=f"E6  Permanent worst-case faults (n = {opts.n})",
+    )
+    colors = balanced(opts.n)
+    for placement in opts.placements:
+        for alpha in opts.alphas:
+            for gamma in opts.gammas:
+                args = [
+                    (opts.n, alpha, gamma, placement, opts.seed + 19 * i)
+                    for i in range(opts.trials)
+                ]
+                rows = run_trials(_trial, args, parallel=opts.parallel)
+                outcomes = [r[0] for r in rows]
+                # The fairness target changes per trial (random faults):
+                # average the expected distribution over trials.
+                exp_red = 0.0
+                for _, faulty in rows:
+                    active = [i for i in range(opts.n) if i not in faulty]
+                    exp = expected_distribution(colors, active)
+                    exp_red += exp.get("red", 0.0)
+                exp_red /= len(rows)
+                expected = {"red": exp_red, "blue": 1.0 - exp_red}
+                tv = total_variation(
+                    empirical_distribution(outcomes), expected
+                )
+                table.add_row(
+                    placement, alpha, gamma,
+                    1.0 - fail_rate(outcomes), tv, exp_red,
+                )
+    return table

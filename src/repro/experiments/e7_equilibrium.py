@@ -1,0 +1,136 @@
+"""E7 — Theorem 7: every deviation gains <= 0 (whp t-strong equilibrium).
+
+Setup: a red-majority network; the coalition is the first ``t``
+supporters of the minority color (maximally aligned incentives: every
+member wants "blue" to win).  For each strategy and coalition size we
+estimate, with *paired seeds*:
+
+* the coalition color's winning probability under honest play and under
+  the deviation,
+* the failure (⊥) probability of both,
+* the members' expected-utility gain at chi = 1
+  (``gain = Δwin − chi·Δfail``; any chi >= 0 derivable from the columns).
+
+Theorem 7's prediction: gain <= 0 up to Monte-Carlo noise, for *every*
+strategy and size — deviations either trigger failure (negative gain) or
+leave the distribution untouched (zero gain).  The griefing row shows a
+large negative gain: sabotage is easy, profit is not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.agents.plans import plan
+from repro.analysis.equilibrium import estimate_utility, gain
+from repro.analysis.stats import mean_ci
+from repro.core.protocol import ProtocolConfig, run_protocol
+from repro.experiments.runner import run_trials
+from repro.experiments.workloads import skewed
+from repro.util.tables import Table
+
+__all__ = ["E7Options", "run"]
+
+_DEFAULT_STRATEGIES = (
+    "silent",
+    "pretend_faulty",
+    "underbid_alter",
+    "underbid_drop",
+    "underbid_klie",
+    "equivocate",
+    "vote_switch",
+    "findmin_suppress",
+    "griefing",
+    "pooled",
+    "pooled_gamble",
+)
+
+
+@dataclass(frozen=True)
+class E7Options:
+    n: int = 48
+    minority: float = 0.25           # coalition color's support
+    strategies: Sequence[str] = _DEFAULT_STRATEGIES
+    coalition_sizes: Sequence[int] = (1, 4)
+    trials: int = 120
+    gamma: float = 2.5
+    chi: float = 1.0
+    seed: int = 7707
+    parallel: bool = True
+
+    def colors(self) -> list[str]:
+        return skewed(self.n, minority=self.minority)
+
+    def members(self, t: int) -> frozenset[int]:
+        blues = [i for i, c in enumerate(self.colors()) if c == "blue"]
+        if t > len(blues):
+            raise ValueError(f"coalition size {t} exceeds blue supporters")
+        return frozenset(blues[:t])
+
+
+def _honest_trial(args: tuple[int, float, float, int]) -> Hashable | None:
+    n, minority, gamma, seed = args
+    colors = skewed(n, minority=minority)
+    return run_protocol(
+        ProtocolConfig(colors=colors, gamma=gamma, seed=seed)
+    ).outcome
+
+
+def _deviant_trial(
+    args: tuple[int, float, float, str, tuple[int, ...], int]
+) -> Hashable | None:
+    n, minority, gamma, strategy, members, seed = args
+    colors = skewed(n, minority=minority)
+    cfg = ProtocolConfig(
+        colors=colors, gamma=gamma, seed=seed,
+        deviation=plan(strategy, frozenset(members)),
+    )
+    return run_protocol(cfg).outcome
+
+
+def run(opts: E7Options = E7Options()) -> Table:
+    table = Table(
+        headers=["strategy", "t", "honest win", "deviant win",
+                 "honest fail", "deviant fail", "gain (chi=1)",
+                 "gain CI +/-", "profitable?"],
+        title=(
+            f"E7  Deviation gains (Theorem 7), n = {opts.n}, "
+            f"coalition color support = {opts.minority:.0%}, "
+            f"trials = {opts.trials}"
+        ),
+    )
+    seeds = [opts.seed + 23 * i for i in range(opts.trials)]
+
+    honest_args = [(opts.n, opts.minority, opts.gamma, s) for s in seeds]
+    honest_outcomes = run_trials(
+        _honest_trial, honest_args, parallel=opts.parallel
+    )
+    honest_u = estimate_utility(honest_outcomes, "blue", chi=opts.chi)
+
+    for strategy in opts.strategies:
+        for t in opts.coalition_sizes:
+            members = tuple(sorted(opts.members(t)))
+            dev_args = [
+                (opts.n, opts.minority, opts.gamma, strategy, members, s)
+                for s in seeds
+            ]
+            dev_outcomes = run_trials(
+                _deviant_trial, dev_args, parallel=opts.parallel
+            )
+            dev_u = estimate_utility(dev_outcomes, "blue", chi=opts.chi)
+            g = gain(honest_u, dev_u)
+            # CI of the paired utility difference.
+            per_seed = [
+                (1.0 if d == "blue" else 0.0) - opts.chi * (1.0 if d is None else 0.0)
+                - (1.0 if h == "blue" else 0.0)
+                + opts.chi * (1.0 if h is None else 0.0)
+                for h, d in zip(honest_outcomes, dev_outcomes)
+            ]
+            _, half = mean_ci(per_seed)
+            table.add_row(
+                strategy, t, honest_u.win_prob, dev_u.win_prob,
+                honest_u.fail_prob, dev_u.fail_prob, g, half,
+                g - half > 0,
+            )
+    return table

@@ -1,0 +1,28 @@
+"""Extensions: the two open problems from the paper's conclusions.
+
+1. *"provide GOSSIP algorithms for rational fair consensus in other
+   relevant classes of graphs"* — :mod:`repro.extensions.topologies`
+   runs Protocol P with neighbour-restricted gossip on arbitrary graphs
+   and measures where (and why) fairness and termination degrade.
+2. *"the study of this problem in the asynchronous (i.e. sequential)
+   GOSSIP model where, at every round, only one (possibly random) agent
+   is awake"* — :mod:`repro.extensions.async_gossip` implements the
+   sequential scheduler and the async variants of the building blocks,
+   measuring the Theta(n log n)-tick behaviour.
+
+Both are empirical explorations (the paper proves nothing here); E10
+reports the measurements.
+"""
+
+from repro.extensions.async_gossip import (
+    async_min_ticks,
+    run_async_leader_election,
+)
+from repro.extensions.topologies import GraphRunResult, run_graph_protocol
+
+__all__ = [
+    "GraphRunResult",
+    "async_min_ticks",
+    "run_async_leader_election",
+    "run_graph_protocol",
+]

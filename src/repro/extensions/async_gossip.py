@@ -1,0 +1,132 @@
+"""The asynchronous (sequential) GOSSIP model (open problem 2).
+
+In the sequential model, at every *tick* a single agent — chosen u.a.r. —
+wakes up and performs one push or pull.  The paper leaves rational fair
+consensus in this model open; as a first empirical step we implement:
+
+* :func:`async_min_ticks` — sequential pull-based min-aggregation: the
+  woken agent pulls a u.a.r. peer and keeps the smaller value.  The
+  classic result for sequential gossip dissemination is Theta(n log n)
+  ticks; E10 measures the constant.
+* :func:`run_async_leader_election` — a fair (cooperative) leader
+  election in the sequential model: every agent draws ``k`` u.a.r.,
+  then min-aggregation runs for a tick budget; if all active agents
+  agree on the minimum, its owner's color is the outcome.  Fairness is
+  inherited from the uniform draws; the open research question (which we
+  do NOT claim to answer) is how to make the *commitment/verification*
+  machinery work without synchronised phase boundaries.
+
+Faulty agents never wake and never reply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.util.rng import SeedTree
+
+__all__ = ["async_min_ticks", "run_async_leader_election", "AsyncElectionResult"]
+
+
+def async_min_ticks(
+    values: Sequence[float],
+    seed: int = 0,
+    max_ticks: int | None = None,
+    faulty: frozenset[int] = frozenset(),
+) -> int:
+    """Ticks until every active agent holds the global active minimum.
+
+    Returns ``max_ticks`` if the budget is exhausted first (default
+    budget: ``40 * n * (log2 n + 1)``, far above the expected
+    Theta(n log n)).
+    """
+    n = len(values)
+    if n < 2:
+        raise ValueError("need at least 2 agents")
+    if max_ticks is None:
+        max_ticks = int(40 * n * (np.log2(n) + 1))
+    rng = SeedTree(seed).child("async").generator()
+
+    active = np.ones(n, dtype=bool)
+    if faulty:
+        active[list(faulty)] = False
+    act_idx = np.flatnonzero(active)
+    current = np.array(values, dtype=float)
+    target = current[act_idx].min()
+
+    # Track how many active agents already hold the target minimum, so
+    # the termination check is O(1) per tick.  Draws happen in batches to
+    # keep the Python loop light.
+    holders = int((current[act_idx] == target).sum())
+    n_active = int(act_idx.size)
+    batch = 4096
+    done = holders == n_active
+    ticks = 0
+    while not done and ticks < max_ticks:
+        take = min(batch, max_ticks - ticks)
+        wakers = rng.integers(n, size=take)
+        peers_raw = rng.integers(n - 1, size=take)
+        peers = peers_raw + (peers_raw >= wakers)
+        for w, p in zip(wakers, peers):
+            ticks += 1
+            if not active[w] or not active[p]:
+                continue  # faulty waker sleeps; faulty peer times out
+            if current[p] < current[w]:
+                had_target = current[w] == target
+                current[w] = current[p]
+                if current[w] == target and not had_target:
+                    holders += 1
+                    if holders == n_active:
+                        done = True
+                        break
+    return ticks if done else max_ticks
+
+
+@dataclass(frozen=True)
+class AsyncElectionResult:
+    outcome: Hashable | None
+    winner: int | None
+    ticks: int
+    converged: bool
+
+
+def run_async_leader_election(
+    colors: Sequence[Hashable],
+    seed: int = 0,
+    tick_budget_factor: float = 8.0,
+    faulty: frozenset[int] = frozenset(),
+) -> AsyncElectionResult:
+    """Sequential-model fair leader election (cooperative setting).
+
+    Every active agent draws ``k`` u.a.r. in ``[n^3]``; sequential
+    min-aggregation runs for ``factor * n * log2 n`` ticks; the owner of
+    the minimum wins if everyone learned it in time.
+    """
+    n = len(colors)
+    if n < 2:
+        raise ValueError("need at least 2 agents")
+    tree = SeedTree(seed)
+    rng = tree.child("draws").generator()
+
+    active = [i for i in range(n) if i not in faulty]
+    if not active:
+        raise ValueError("no active agent")
+    draws = rng.integers(n ** 3, size=n).astype(float)
+    # Keys (k, label) mapped to floats for the vectorised aggregator:
+    # scale k by n and add the label (keeps the lexicographic order).
+    keys = draws * n + np.arange(n)
+    for f in faulty:
+        keys[f] = np.inf  # a faulty agent's draw never circulates
+
+    budget = int(tick_budget_factor * n * max(1.0, np.log2(n)))
+    ticks = async_min_ticks(
+        keys.tolist(), seed=seed, max_ticks=budget, faulty=faulty
+    )
+    converged = ticks < budget
+    if converged:
+        winner = int(np.argmin(keys))
+        return AsyncElectionResult(colors[winner], winner, ticks, True)
+    return AsyncElectionResult(None, None, budget, False)

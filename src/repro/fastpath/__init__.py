@@ -1,0 +1,18 @@
+"""Vectorised fast path for honest(+faulty) executions of Protocol P.
+
+The agent engine (``repro.gossip`` + ``repro.core``) supports arbitrary
+deviating strategies but dispatches Python objects per agent per round.
+The scaling experiments (E1–E6) need thousands of honest runs at large n,
+where nothing strategic happens — so this package simulates the *same*
+process with NumPy array operations, orders of magnitude faster.
+
+The fastpath is cross-validated against the agent engine in
+``tests/test_fastpath.py``: identical invariants, statistically identical
+outcome distributions, and message/size accounting within the documented
+modelling simplification (certificate-bearing messages are priced at the
+winner's certificate size).
+"""
+
+from repro.fastpath.simulate import FastRunResult, simulate_protocol_fast
+
+__all__ = ["FastRunResult", "simulate_protocol_fast"]

@@ -1,0 +1,196 @@
+"""NumPy-vectorised simulation of honest/faulty runs of Protocol P.
+
+Key observation: when every active agent follows the protocol, the
+outcome is fully determined by (a) the votes cast in the Voting phase and
+(b) whether pull-based Find-Min informs every active agent within ``q``
+rounds.  Verification always passes (the agent-engine tests prove that)
+and Coherence only matters when Find-Min failed.  So the fastpath:
+
+1. draws all ``|A| * q`` votes at once and accumulates per-receiver sums
+   with exact int64 arithmetic (``np.add.at``; float bincount would lose
+   precision beyond 2^53),
+2. finds the winner as argmin of ``(k, label)``,
+3. simulates the q pull rounds of Find-Min as boolean-mask updates,
+4. prices messages analytically, using the winner's certificate size for
+   every certificate-bearing message (a documented simplification — the
+   exact per-message sizes vary with the sender's current minimum; the
+   agent engine provides exact totals and the cross-validation test keeps
+   the two within a small factor).
+
+Integer-safety bound: per-receiver vote sums are ~``q`` values below
+``m = n^3``; the global accumulation stays far under 2^63 for every n
+this simulator is asked to run (guarded by an explicit check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.core.params import ProtocolParams
+from repro.util.rng import SeedTree
+
+__all__ = ["FastRunResult", "simulate_protocol_fast"]
+
+_PULL_TOPIC_BITS = 2
+
+
+@dataclass(frozen=True)
+class FastRunResult:
+    """Fastpath counterpart of :class:`repro.core.outcome.RunResult`."""
+
+    n: int
+    n_active: int
+    outcome: Hashable | None
+    winner: int | None
+    rounds: int
+    # Good-execution events (Definition 2):
+    min_votes: int
+    max_votes: int
+    k_collision: bool
+    find_min_agreement: bool
+    find_min_rounds: int          # rounds until everyone informed (-1: never)
+    # Lemma 6.1 observable (commitment coverage):
+    min_commitment_pulls_received: int
+    # Complexity accounting:
+    total_messages: int
+    total_bits: int
+    max_message_bits: int
+
+    @property
+    def succeeded(self) -> bool:
+        return self.outcome is not None
+
+    @property
+    def is_good(self) -> bool:
+        return (
+            self.min_votes >= 1
+            and not self.k_collision
+            and self.find_min_agreement
+        )
+
+
+def _sample_peers(rng: np.random.Generator, self_ids: np.ndarray,
+                  n: int, size: tuple[int, ...] | int) -> np.ndarray:
+    """Uniform peers over [n] \\ {self} for each row of ``self_ids``."""
+    raw = rng.integers(n - 1, size=size)
+    return raw + (raw >= self_ids)
+
+
+def simulate_protocol_fast(
+    colors: Sequence[Hashable],
+    gamma: float = 3.0,
+    faulty: frozenset[int] = frozenset(),
+    seed: int = 0,
+) -> FastRunResult:
+    """Simulate one honest(+faulty) execution of Protocol P."""
+    n = len(colors)
+    params = ProtocolParams(n=n, gamma=gamma, num_colors=len(set(colors)))
+    q, m = params.q, params.m
+    if (q + 1) * m >= 2 ** 62:
+        raise ValueError(f"n={n} too large for exact int64 vote sums")
+
+    tree = SeedTree(seed)
+    rng = tree.child("fast").generator()
+
+    active = np.ones(n, dtype=bool)
+    if faulty:
+        active[list(faulty)] = False
+    act_idx = np.flatnonzero(active)
+    n_a = int(act_idx.size)
+    if n_a == 0:
+        raise ValueError("no active agent")
+
+    # ------------------------------------------------------------------
+    # Commitment phase: targets only matter for accounting and for the
+    # Lemma 6.1 coverage statistic (who got pulled how often).
+    commit_targets = _sample_peers(rng, act_idx[:, None], n, (n_a, q))
+    commit_replies = int(active[commit_targets].sum())
+    pulls_received = np.zeros(n, dtype=np.int64)
+    np.add.at(pulls_received, commit_targets.ravel(), 1)
+    min_pulls = int(pulls_received[act_idx].min())
+
+    # ------------------------------------------------------------------
+    # Voting phase: all votes at once; exact integer accumulation.
+    vote_targets = _sample_peers(rng, act_idx[:, None], n, (n_a, q))
+    vote_values = rng.integers(m, size=(n_a, q), dtype=np.int64)
+    k_acc = np.zeros(n, dtype=np.int64)
+    counts = np.zeros(n, dtype=np.int64)
+    np.add.at(k_acc, vote_targets.ravel(), vote_values.ravel())
+    np.add.at(counts, vote_targets.ravel(), 1)
+    k = k_acc % m
+
+    k_active = k[act_idx]
+    counts_active = counts[act_idx]
+    k_collision = int(np.unique(k_active).size) < n_a
+
+    # Winner: argmin of (k, label) among active agents.
+    order = np.lexsort((act_idx, k_active))
+    winner = int(act_idx[order[0]])
+
+    # ------------------------------------------------------------------
+    # Find-Min: pull gossip of the minimal certificate for exactly q
+    # rounds (the schedule is fixed; agents keep pulling after local
+    # convergence, which matters for message accounting).
+    informed = np.zeros(n, dtype=bool)
+    informed[winner] = True
+    find_min_rounds = -1
+    findmin_replies = 0
+    for rnd in range(1, q + 1):
+        pulls = _sample_peers(rng, act_idx, n, n_a)
+        findmin_replies += int(active[pulls].sum())
+        informed[act_idx] |= informed[pulls]
+        if find_min_rounds < 0 and bool(informed[act_idx].all()):
+            find_min_rounds = rnd
+    agreement = bool(informed[act_idx].all())
+
+    outcome = colors[winner] if agreement else None
+
+    # ------------------------------------------------------------------
+    # Accounting (header = 2 labels; certificate-bearing messages priced
+    # at the winner-certificate size — see module docstring).
+    header = 2 * params.label_bits
+    winner_cert_bits = params.certificate_bits(int(counts[winner]))
+    max_cert_bits = params.certificate_bits(int(counts_active.max()))
+
+    commit_req_bits = n_a * q * (header + _PULL_TOPIC_BITS)
+    commit_rep_bits = commit_replies * (header + params.intention_bits())
+    vote_bits = n_a * q * (header + params.vote_message_bits())
+    findmin_req_bits = n_a * q * (header + _PULL_TOPIC_BITS)
+    findmin_rep_bits = findmin_replies * (header + winner_cert_bits)
+    coherence_bits = n_a * q * (header + winner_cert_bits)
+
+    total_messages = (
+        n_a * q            # commitment requests
+        + commit_replies
+        + n_a * q          # votes
+        + n_a * q          # find-min requests
+        + findmin_replies
+        + n_a * q          # coherence pushes
+    )
+    total_bits = (
+        commit_req_bits + commit_rep_bits + vote_bits
+        + findmin_req_bits + findmin_rep_bits + coherence_bits
+    )
+    max_message_bits = max(
+        header + params.intention_bits(), header + max_cert_bits
+    )
+
+    return FastRunResult(
+        n=n,
+        n_active=n_a,
+        outcome=outcome,
+        winner=winner if agreement else None,
+        rounds=params.total_rounds,
+        min_votes=int(counts_active.min()),
+        max_votes=int(counts_active.max()),
+        k_collision=k_collision,
+        find_min_agreement=agreement,
+        find_min_rounds=find_min_rounds,
+        min_commitment_pulls_received=min_pulls,
+        total_messages=total_messages,
+        total_bits=total_bits,
+        max_message_bits=max_message_bits,
+    )

@@ -1,0 +1,43 @@
+"""The synchronous GOSSIP communication substrate.
+
+This package implements the communication model of the paper from scratch:
+
+* a complete network of ``n`` labelled nodes with **secure channels** —
+  during any exchange both endpoints learn the true label of the peer and
+  nobody (not even a deviating agent) can forge a sender label, because
+  the engine attaches labels itself;
+* a **synchronous round scheduler** in which every node performs at most
+  one *active* operation per round — a push (send one message to one
+  chosen peer) or a pull (ask one chosen peer for data and receive one
+  reply).  Nodes may passively *receive* any number of messages per round;
+* **quiescent permanent faults**: a faulty node never acts and never
+  replies, so a puller contacting it observes a timeout;
+* full **message and bit accounting** (the paper's complexity claims are
+  about message counts and sizes).
+
+The substrate knows nothing about consensus: protocols are built on top by
+implementing :class:`~repro.gossip.node.Node`.
+"""
+
+from repro.gossip.actions import Action, Idle, Pull, Push
+from repro.gossip.engine import GossipEngine, ProtocolViolation
+from repro.gossip.messages import NO_REPLY, Blob, Payload
+from repro.gossip.metrics import MessageMetrics
+from repro.gossip.node import FaultyNode, Node
+from repro.gossip.trace import EventTrace
+
+__all__ = [
+    "Action",
+    "Blob",
+    "EventTrace",
+    "FaultyNode",
+    "GossipEngine",
+    "Idle",
+    "MessageMetrics",
+    "NO_REPLY",
+    "Node",
+    "Payload",
+    "ProtocolViolation",
+    "Pull",
+    "Push",
+]

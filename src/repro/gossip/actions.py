@@ -1,0 +1,44 @@
+"""Per-round actions available to a node.
+
+In the GOSSIP model every node performs at most one active operation per
+round.  The engine enforces this structurally: ``Node.begin_round`` returns
+a single :class:`Action` (or ``None``/:class:`Idle` to stay passive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.gossip.messages import Payload
+
+__all__ = ["Push", "Pull", "Idle", "Action"]
+
+
+@dataclass(frozen=True)
+class Push:
+    """Actively send ``payload`` to node ``target`` this round."""
+
+    target: int
+    payload: Payload
+
+
+@dataclass(frozen=True)
+class Pull:
+    """Ask node ``target`` for the data identified by ``topic``.
+
+    The target's :meth:`~repro.gossip.node.Node.on_pull_request` produces
+    the reply; a missing reply surfaces as
+    :meth:`~repro.gossip.node.Node.on_pull_timeout` at the requester.
+    """
+
+    target: int
+    topic: str
+
+
+@dataclass(frozen=True)
+class Idle:
+    """Explicitly do nothing this round (same as returning ``None``)."""
+
+
+Action = Union[Push, Pull, Idle]

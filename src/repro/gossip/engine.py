@@ -1,0 +1,150 @@
+"""The synchronous GOSSIP round engine.
+
+One :meth:`GossipEngine.run_round` executes a synchronous round:
+
+1. **Action collection** — every node (in label order) chooses at most
+   one active operation via ``begin_round``.
+2. **Pull service** — every pull request is presented to its target and
+   all replies are *collected before any delivery*.  Replies therefore
+   reflect state from before this round's incoming traffic, matching the
+   synchronous model (information travels one hop per round).
+3. **Delivery** — pushes are delivered (``on_push``), then pull replies
+   (``on_pull_reply``) and timeouts (``on_pull_timeout``).
+
+The engine enforces the model even against deviating agents:
+
+* one active operation per round (structural: one ``Action`` per node),
+* targets must be real, distinct nodes (no self-gossip, no invented
+  labels) — a violating action raises :class:`ProtocolViolation`,
+* sender labels are attached by the engine, never taken from payloads, so
+  labels cannot be forged (the paper's secure-channel assumption),
+* faulty nodes are quiescent; pulls aimed at them time out.
+
+Determinism: given nodes whose own randomness is seeded, a round is a pure
+function of state — all iteration is in sorted label order.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.gossip.actions import Action, Idle, Pull, Push
+from repro.gossip.messages import NO_REPLY, Payload
+from repro.gossip.metrics import MessageMetrics
+from repro.gossip.node import Node
+from repro.gossip.trace import EventTrace
+from repro.util.bits import label_bits
+
+__all__ = ["GossipEngine", "ProtocolViolation"]
+
+
+class ProtocolViolation(RuntimeError):
+    """An agent attempted something outside the communication model."""
+
+
+class GossipEngine:
+    """Synchronous scheduler for a set of nodes with secure channels.
+
+    Parameters
+    ----------
+    nodes:
+        Mapping of label -> node.  Labels are the paper's ``[n]``
+        (0-based here).
+    metrics:
+        Optional accounting sink; a fresh one is created if omitted.
+    trace:
+        Optional :class:`EventTrace` recording every delivery.
+    """
+
+    def __init__(
+        self,
+        nodes: Mapping[int, Node],
+        *,
+        metrics: MessageMetrics | None = None,
+        trace: EventTrace | None = None,
+    ):
+        self.nodes: dict[int, Node] = dict(sorted(nodes.items()))
+        if not self.nodes:
+            raise ValueError("engine needs at least one node")
+        for label, node in self.nodes.items():
+            if node.node_id != label:
+                raise ValueError(
+                    f"node registered under label {label} reports id {node.node_id}"
+                )
+        self.n = len(self.nodes)
+        self.metrics = metrics if metrics is not None else MessageMetrics()
+        self.metrics.header_bits = 2 * label_bits(self.n)
+        self.trace = trace
+        self.round = 0
+
+    # ------------------------------------------------------------------
+    def _validate_target(self, nid: int, target: int) -> None:
+        if target == nid:
+            raise ProtocolViolation(f"node {nid} attempted to gossip with itself")
+        if target not in self.nodes:
+            raise ProtocolViolation(f"node {nid} targeted unknown label {target}")
+
+    def run_round(self) -> None:
+        """Execute one synchronous round."""
+        rnd = self.round
+        self.metrics.start_round()
+
+        # Phase 1: collect one action per node, in label order.
+        pushes: list[tuple[int, Push]] = []
+        pulls: list[tuple[int, Pull]] = []
+        for nid, node in self.nodes.items():
+            action = node.begin_round(rnd)
+            if action is None or isinstance(action, Idle):
+                continue
+            if isinstance(action, Push):
+                self._validate_target(nid, action.target)
+                pushes.append((nid, action))
+            elif isinstance(action, Pull):
+                self._validate_target(nid, action.target)
+                pulls.append((nid, action))
+            else:
+                raise ProtocolViolation(
+                    f"node {nid} returned invalid action {action!r}"
+                )
+
+        # Phase 2: service every pull before delivering anything.
+        replies: list[tuple[int, int, object]] = []  # (requester, target, reply)
+        for nid, pull in pulls:
+            self.metrics.record_pull_request()
+            if self.trace is not None:
+                self.trace.record(rnd, "pull_request", nid, pull.target, pull.topic)
+            target_node = self.nodes[pull.target]
+            reply = target_node.on_pull_request(nid, pull.topic, rnd)
+            replies.append((nid, pull.target, reply))
+
+        # Phase 3a: deliver pushes (in sender-label order).
+        for nid, push in pushes:
+            self.metrics.record_push(push.payload.size_bits())
+            if self.trace is not None:
+                self.trace.record(rnd, "push", nid, push.target, push.payload)
+            self.nodes[push.target].on_push(nid, push.payload, rnd)
+
+        # Phase 3b: deliver pull replies / timeouts.
+        for requester, target, reply in replies:
+            if reply is NO_REPLY or reply is None:
+                if self.trace is not None:
+                    self.trace.record(rnd, "pull_timeout", target, requester)
+                self.nodes[requester].on_pull_timeout(target, rnd)
+            else:
+                payload: Payload = reply  # type: ignore[assignment]
+                self.metrics.record_pull_reply(payload.size_bits())
+                if self.trace is not None:
+                    self.trace.record(rnd, "pull_reply", target, requester, payload)
+                self.nodes[requester].on_pull_reply(target, payload, rnd)
+
+        self.round += 1
+
+    def run(self, rounds: int) -> None:
+        """Execute ``rounds`` consecutive rounds."""
+        for _ in range(rounds):
+            self.run_round()
+
+    def finalize(self) -> None:
+        """Tell every node the protocol is over."""
+        for node in self.nodes.values():
+            node.finalize()

@@ -1,0 +1,51 @@
+"""Payload protocol and generic payloads.
+
+Payloads are ordinary Python objects that know their size in bits
+(:meth:`Payload.size_bits`).  The engine never serialises anything — the
+simulation exchanges object references — but all complexity accounting
+uses the declared bit sizes, which follow the paper's encoding model (see
+``repro.util.bits``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+__all__ = ["Payload", "Blob", "NO_REPLY", "NoReplyType"]
+
+
+@runtime_checkable
+class Payload(Protocol):
+    """Anything with a declared encoded size in bits."""
+
+    def size_bits(self) -> int:  # pragma: no cover - protocol definition
+        ...
+
+
+@dataclass(frozen=True)
+class Blob:
+    """An opaque payload of a declared size; useful for tests/primitives."""
+
+    bits: int
+    data: object = None
+
+    def size_bits(self) -> int:
+        return self.bits
+
+
+class NoReplyType:
+    """Sentinel: the pulled node does not answer (faulty or deviating)."""
+
+    _instance: "NoReplyType | None" = None
+
+    def __new__(cls) -> "NoReplyType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NO_REPLY"
+
+
+NO_REPLY = NoReplyType()

@@ -1,0 +1,84 @@
+"""Message and bit accounting.
+
+The paper's headline complexity claims are about communication:
+``O(n log n)`` active operations overall, messages of ``O(log^2 n)`` bits,
+``O(n log^3 n)`` total communication — versus ``Omega(n^2)`` messages for
+the prior LOCAL-model protocols.  Every exchange that crosses the engine
+is recorded here.
+
+Counting conventions (documented so the benchmarks are interpretable):
+
+* a **push** counts as one message of ``header + payload`` bits;
+* a **pull** counts as one request message (``header + topic`` bits) plus,
+  if answered, one reply message (``header + payload`` bits);
+* the header is two labels (source and destination), i.e.
+  ``2 * ceil(log2 n)`` bits — the secure-channel addressing cost;
+* ``max_message_bits`` tracks the largest single message, the quantity
+  bounded by ``O(log^2 n)`` in Theorem 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MessageMetrics"]
+
+_TOPIC_BITS = 2  # protocols here use at most four distinct pull topics
+
+
+@dataclass
+class MessageMetrics:
+    """Mutable counters filled in by the engine while a protocol runs."""
+
+    header_bits: int = 0
+    pushes: int = 0
+    pull_requests: int = 0
+    pull_replies: int = 0
+    total_bits: int = 0
+    max_message_bits: int = 0
+    rounds: int = 0
+    per_round_messages: list[int] = field(default_factory=list)
+
+    @property
+    def total_messages(self) -> int:
+        """All messages that crossed the network."""
+        return self.pushes + self.pull_requests + self.pull_replies
+
+    @property
+    def active_operations(self) -> int:
+        """Active operations initiated by nodes (pushes + pulls)."""
+        return self.pushes + self.pull_requests
+
+    # -- recording hooks (called by the engine) -----------------------------
+    def start_round(self) -> None:
+        self.rounds += 1
+        self.per_round_messages.append(0)
+
+    def _record(self, bits: int) -> None:
+        self.total_bits += bits
+        if bits > self.max_message_bits:
+            self.max_message_bits = bits
+        if self.per_round_messages:
+            self.per_round_messages[-1] += 1
+
+    def record_push(self, payload_bits: int) -> None:
+        self.pushes += 1
+        self._record(self.header_bits + payload_bits)
+
+    def record_pull_request(self) -> None:
+        self.pull_requests += 1
+        self._record(self.header_bits + _TOPIC_BITS)
+
+    def record_pull_reply(self, payload_bits: int) -> None:
+        self.pull_replies += 1
+        self._record(self.header_bits + payload_bits)
+
+    def merge(self, other: "MessageMetrics") -> None:
+        """Accumulate another run's counters into this one."""
+        self.pushes += other.pushes
+        self.pull_requests += other.pull_requests
+        self.pull_replies += other.pull_replies
+        self.total_bits += other.total_bits
+        self.max_message_bits = max(self.max_message_bits, other.max_message_bits)
+        self.rounds += other.rounds
+        self.per_round_messages.extend(other.per_round_messages)

@@ -1,0 +1,81 @@
+"""Node interface for protocols running on the GOSSIP engine.
+
+A protocol is a set of :class:`Node` implementations.  Honest, faulty and
+deviating agents all share this interface, which encodes exactly the
+feasible local rules of the paper's model:
+
+* a node chooses at most one active operation per round
+  (:meth:`begin_round`),
+* it may react to any number of incoming messages
+  (:meth:`on_push`, :meth:`on_pull_reply`, :meth:`on_pull_timeout`),
+* it may answer pull requests addressed to it (:meth:`on_pull_request`) —
+  answering is passive and does not consume the active operation,
+* it can never observe another node's private state, and sender labels on
+  everything it receives are attached by the engine (secure channels).
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+from typing import Union
+
+from repro.gossip.actions import Action
+from repro.gossip.messages import NO_REPLY, NoReplyType, Payload
+
+__all__ = ["Node", "FaultyNode", "PullResponse"]
+
+PullResponse = Union[Payload, NoReplyType]
+
+
+class Node(ABC):
+    """Base class for all agents living on the gossip substrate."""
+
+    def __init__(self, node_id: int):
+        self.node_id = int(node_id)
+
+    # -- active behaviour --------------------------------------------------
+    def begin_round(self, rnd: int) -> Action | None:
+        """Choose this round's single active operation (or ``None``)."""
+        return None
+
+    # -- passive behaviour -------------------------------------------------
+    def on_push(self, sender: int, payload: Payload, rnd: int) -> None:
+        """A peer pushed ``payload`` to us; ``sender`` is authenticated."""
+
+    def on_pull_request(self, requester: int, topic: str, rnd: int) -> PullResponse:
+        """A peer asked us for ``topic``.
+
+        Return a payload to answer, or :data:`NO_REPLY` to stay silent
+        (the requester then observes a timeout).  Replies are computed
+        from the state at the start of the exchange phase: the engine
+        gathers every reply before delivering any, so information cannot
+        hop through two nodes within one round.
+        """
+        return NO_REPLY
+
+    def on_pull_reply(self, responder: int, payload: Payload, rnd: int) -> None:
+        """Our pull of this round was answered by ``responder``."""
+
+    def on_pull_timeout(self, target: int, rnd: int) -> None:
+        """Our pull of this round got no answer from ``target``."""
+
+    # -- lifecycle ----------------------------------------------------------
+    def finalize(self) -> None:
+        """Called once after the last round; compute the final state."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(id={self.node_id})"
+
+
+class FaultyNode(Node):
+    """A permanently faulty (quiescent) node.
+
+    Chosen by the worst-case adversary *before* round 0 (the paper's
+    permanent-fault model): it never acts, never replies, never decides.
+    """
+
+    def begin_round(self, rnd: int) -> Action | None:
+        return None
+
+    def on_pull_request(self, requester: int, topic: str, rnd: int) -> PullResponse:
+        return NO_REPLY

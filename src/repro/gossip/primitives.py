@@ -1,0 +1,211 @@
+"""Classic gossip primitives built on the substrate.
+
+The paper's Find-Min phase "performs this task using pull operations as in
+the standard GOSSIP broadcast protocol [Shah 2009], taking O(log n)
+rounds".  This module implements those textbook primitives as standalone,
+reusable mini-protocols:
+
+* :class:`PushRumorNode` — informed nodes push the rumor to a random peer
+  (push rumor spreading; completes in ``log2 n + O(log n)`` rounds w.h.p.);
+* :class:`PullBroadcastNode` — every node pulls a random peer each round
+  and becomes informed when it hits an informed one (pull broadcast; the
+  mechanism Find-Min uses);
+* :class:`MinAggregationNode` — pull-based aggregation of the minimum of
+  per-node comparable values; Find-Min is exactly this primitive applied
+  to certificates.
+
+They double as integration tests for the engine (their known convergence
+behaviour is asserted in ``tests/test_primitives.py``) and as public API
+for users who want the substrate without the consensus protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.gossip.actions import Action, Pull, Push
+from repro.gossip.engine import GossipEngine
+from repro.gossip.messages import NO_REPLY, Blob, Payload
+from repro.gossip.node import FaultyNode, Node, PullResponse
+from repro.util.rng import SeedTree
+
+__all__ = [
+    "PushRumorNode",
+    "PullBroadcastNode",
+    "MinAggregationNode",
+    "run_push_rumor",
+    "run_pull_broadcast",
+    "run_min_aggregation",
+    "rounds_until_spread",
+]
+
+_RUMOR_TOPIC = "rumor"
+_MIN_TOPIC = "min"
+
+
+def _uniform_peer(rng: np.random.Generator, n: int, self_id: int) -> int:
+    """A peer chosen u.a.r. among the other ``n - 1`` labels."""
+    peer = int(rng.integers(n - 1))
+    return peer + 1 if peer >= self_id else peer
+
+
+class PushRumorNode(Node):
+    """Push rumor spreading: informed nodes push a fixed blob each round."""
+
+    def __init__(self, node_id: int, n: int, rng: np.random.Generator, *,
+                 informed: bool = False, rumor_bits: int = 1):
+        super().__init__(node_id)
+        self.n = n
+        self.rng = rng
+        self.informed = informed
+        self.rumor = Blob(rumor_bits, data="rumor")
+
+    def begin_round(self, rnd: int) -> Action | None:
+        if not self.informed:
+            return None
+        return Push(_uniform_peer(self.rng, self.n, self.node_id), self.rumor)
+
+    def on_push(self, sender: int, payload: Payload, rnd: int) -> None:
+        self.informed = True
+
+
+class PullBroadcastNode(Node):
+    """Pull broadcast: uninformed nodes pull a random peer each round."""
+
+    def __init__(self, node_id: int, n: int, rng: np.random.Generator, *,
+                 informed: bool = False, rumor_bits: int = 1):
+        super().__init__(node_id)
+        self.n = n
+        self.rng = rng
+        self.informed = informed
+        self.rumor = Blob(rumor_bits, data="rumor")
+
+    def begin_round(self, rnd: int) -> Action | None:
+        if self.informed:
+            return None
+        return Pull(_uniform_peer(self.rng, self.n, self.node_id), _RUMOR_TOPIC)
+
+    def on_pull_request(self, requester: int, topic: str, rnd: int) -> PullResponse:
+        if topic == _RUMOR_TOPIC and self.informed:
+            return self.rumor
+        return NO_REPLY
+
+    def on_pull_reply(self, responder: int, payload: Payload, rnd: int) -> None:
+        self.informed = True
+
+
+class MinAggregationNode(Node):
+    """Pull-based min aggregation over comparable per-node values.
+
+    Every round each node pulls a random peer's current minimum and keeps
+    the smaller of the two.  On the complete graph this converges to the
+    global minimum in Theta(log n) rounds w.h.p. — the paper's Find-Min
+    phase is this primitive applied to certificates keyed by ``k``.
+    """
+
+    def __init__(self, node_id: int, n: int, rng: np.random.Generator,
+                 value: object, *, value_bits: int = 32):
+        super().__init__(node_id)
+        self.n = n
+        self.rng = rng
+        self.current = value
+        self.value_bits = value_bits
+
+    def begin_round(self, rnd: int) -> Action | None:
+        return Pull(_uniform_peer(self.rng, self.n, self.node_id), _MIN_TOPIC)
+
+    def on_pull_request(self, requester: int, topic: str, rnd: int) -> PullResponse:
+        if topic == _MIN_TOPIC:
+            return Blob(self.value_bits, data=self.current)
+        return NO_REPLY
+
+    def on_pull_reply(self, responder: int, payload: Payload, rnd: int) -> None:
+        other = payload.data  # type: ignore[attr-defined]
+        if other < self.current:  # type: ignore[operator]
+            self.current = other
+
+
+# ---------------------------------------------------------------------------
+# Convenience drivers
+# ---------------------------------------------------------------------------
+
+def _build_and_run(
+    factory: Callable[[int, SeedTree], Node],
+    n: int,
+    seed: int,
+    rounds: int,
+    faulty: frozenset[int] = frozenset(),
+) -> dict[int, Node]:
+    tree = SeedTree(seed)
+    nodes: dict[int, Node] = {}
+    for i in range(n):
+        if i in faulty:
+            nodes[i] = FaultyNode(i)
+        else:
+            nodes[i] = factory(i, tree.child("node", i))
+    engine = GossipEngine(nodes)
+    engine.run(rounds)
+    return nodes
+
+
+def run_push_rumor(n: int, rounds: int, seed: int = 0, source: int = 0,
+                   faulty: frozenset[int] = frozenset()) -> list[bool]:
+    """Run push rumor spreading; return per-node informed flags."""
+    nodes = _build_and_run(
+        lambda i, t: PushRumorNode(i, n, t.generator(), informed=(i == source)),
+        n, seed, rounds, faulty,
+    )
+    return [getattr(nd, "informed", False) for nd in nodes.values()]
+
+
+def run_pull_broadcast(n: int, rounds: int, seed: int = 0, source: int = 0,
+                       faulty: frozenset[int] = frozenset()) -> list[bool]:
+    """Run pull broadcast; return per-node informed flags."""
+    nodes = _build_and_run(
+        lambda i, t: PullBroadcastNode(i, n, t.generator(), informed=(i == source)),
+        n, seed, rounds, faulty,
+    )
+    return [getattr(nd, "informed", False) for nd in nodes.values()]
+
+
+def run_min_aggregation(values: Sequence[object], rounds: int, seed: int = 0,
+                        faulty: frozenset[int] = frozenset()) -> list[object]:
+    """Run min aggregation over ``values``; return per-node current minima."""
+    n = len(values)
+    nodes = _build_and_run(
+        lambda i, t: MinAggregationNode(i, n, t.generator(), values[i]),
+        n, seed, rounds, faulty,
+    )
+    return [getattr(nd, "current", None) for nd in nodes.values()]
+
+
+def rounds_until_spread(n: int, seed: int = 0, *, mechanism: str = "pull",
+                        max_rounds: int | None = None,
+                        faulty: frozenset[int] = frozenset()) -> int:
+    """Rounds until a rumor from node 0 reaches every non-faulty node.
+
+    Returns ``max_rounds`` if the cap is hit first (the cap defaults to
+    ``8 * ceil(log2 n) + 16``, far above the w.h.p. bound).
+    """
+    if max_rounds is None:
+        max_rounds = 8 * max(1, int(np.ceil(np.log2(max(n, 2))))) + 16
+    tree = SeedTree(seed)
+    nodes: dict[int, Node] = {}
+    cls = PullBroadcastNode if mechanism == "pull" else PushRumorNode
+    if mechanism not in ("pull", "push"):
+        raise ValueError(f"unknown mechanism {mechanism!r}")
+    for i in range(n):
+        if i in faulty and i != 0:
+            nodes[i] = FaultyNode(i)
+        else:
+            nodes[i] = cls(i, n, tree.child("node", i).generator(),
+                           informed=(i == 0))
+    engine = GossipEngine(nodes)
+    for rnd in range(max_rounds):
+        if all(getattr(nd, "informed", True) for nd in nodes.values()
+               if not isinstance(nd, FaultyNode)):
+            return rnd
+        engine.run_round()
+    return max_rounds

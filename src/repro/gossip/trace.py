@@ -1,0 +1,47 @@
+"""Optional event tracing for debugging and white-box tests.
+
+A trace records every message the engine delivers.  It is off by default
+(tracing every exchange of a large run is expensive); tests switch it on
+to assert fine-grained model properties, e.g. that sender labels are
+always genuine and that no node ever initiates two operations in a round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["EventTrace", "TraceEvent"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One delivered message or observed timeout."""
+
+    rnd: int
+    kind: str  # "push" | "pull_request" | "pull_reply" | "pull_timeout"
+    src: int
+    dst: int
+    detail: object = None
+
+
+@dataclass
+class EventTrace:
+    """Append-only in-memory trace."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, rnd: int, kind: str, src: int, dst: int, detail: object = None) -> None:
+        self.events.append(TraceEvent(rnd, kind, src, dst, detail))
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def in_round(self, rnd: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.rnd == rnd]
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,23 @@
+"""Shared utilities: deterministic RNG trees, bit-size accounting, tables.
+
+These helpers are deliberately dependency-light; everything else in the
+package builds on them.
+"""
+
+from repro.util.bits import (
+    bits_for_range,
+    color_bits,
+    label_bits,
+    vote_bits,
+)
+from repro.util.rng import SeedTree
+from repro.util.tables import Table
+
+__all__ = [
+    "SeedTree",
+    "Table",
+    "bits_for_range",
+    "color_bits",
+    "label_bits",
+    "vote_bits",
+]

@@ -1,0 +1,31 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import ProtocolParams
+from repro.util.rng import SeedTree
+
+
+@pytest.fixture
+def params16() -> ProtocolParams:
+    """Small but non-trivial parameters (n=16, gamma=2 -> q=8)."""
+    return ProtocolParams(n=16, gamma=2.0)
+
+
+@pytest.fixture
+def params64() -> ProtocolParams:
+    """Medium parameters for integration tests (n=64, gamma=2 -> q=12)."""
+    return ProtocolParams(n=64, gamma=2.0)
+
+
+@pytest.fixture
+def tree() -> SeedTree:
+    return SeedTree(123456789)
+
+
+def two_color_split(n: int, frac_red: float) -> list[str]:
+    """A deterministic red/blue initial configuration."""
+    reds = round(n * frac_red)
+    return ["red"] * reds + ["blue"] * (n - reds)

@@ -1,0 +1,107 @@
+"""Tests for fault patterns and coalition builders."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.coalitions import (
+    coalition_size_schedules,
+    color_coalition,
+    random_coalition,
+)
+from repro.adversary.faults import (
+    color_targeted_faults,
+    prefix_faults,
+    random_faults,
+)
+from repro.util.rng import SeedTree
+
+
+class TestFaultPatterns:
+    def test_prefix_count(self):
+        assert prefix_faults(100, 0.25) == frozenset(range(25))
+
+    def test_zero_alpha_no_faults(self):
+        assert prefix_faults(64, 0.0) == frozenset()
+
+    def test_random_count_and_range(self):
+        rng = SeedTree(1).generator()
+        faults = random_faults(100, 0.3, rng)
+        assert len(faults) == 30
+        assert all(0 <= f < 100 for f in faults)
+
+    def test_random_deterministic_given_stream(self):
+        a = random_faults(50, 0.2, SeedTree(5).generator())
+        b = random_faults(50, 0.2, SeedTree(5).generator())
+        assert a == b
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            prefix_faults(10, 1.0)
+        with pytest.raises(ValueError):
+            random_faults(10, -0.1, SeedTree(0).generator())
+
+    def test_color_targeted_hits_target_first(self):
+        colors = ["r"] * 10 + ["b"] * 10
+        faults = color_targeted_faults(colors, "r", 0.25)  # 5 faults
+        assert all(colors[f] == "r" for f in faults)
+        assert len(faults) == 5
+
+    def test_color_targeted_spills_over(self):
+        colors = ["r"] * 3 + ["b"] * 17
+        faults = color_targeted_faults(colors, "r", 0.5)  # 10 faults
+        assert len(faults) == 10
+        assert {0, 1, 2} <= faults  # all reds crashed first
+
+    @given(st.integers(min_value=4, max_value=256),
+           st.floats(min_value=0.0, max_value=0.95))
+    @settings(max_examples=40)
+    def test_property_never_crashes_everyone(self, n, alpha):
+        faults = prefix_faults(n, alpha)
+        assert len(faults) < n
+
+
+class TestCoalitions:
+    def test_random_size_and_exclusion(self):
+        rng = SeedTree(2).generator()
+        excl = frozenset(range(10))
+        c = random_coalition(40, 5, rng, exclude=excl)
+        assert len(c) == 5
+        assert not (c & excl)
+
+    def test_random_too_large_rejected(self):
+        rng = SeedTree(3).generator()
+        with pytest.raises(ValueError):
+            random_coalition(10, 11, rng)
+
+    def test_color_coalition_members_support_color(self):
+        colors = ["r", "b", "r", "b", "b"]
+        c = color_coalition(colors, "b")
+        assert c == frozenset({1, 3, 4})
+
+    def test_color_coalition_truncates(self):
+        colors = ["b"] * 10
+        c = color_coalition(colors, "b", t=3)
+        assert c == frozenset({0, 1, 2})
+
+    def test_color_coalition_empty_rejected(self):
+        with pytest.raises(ValueError):
+            color_coalition(["r", "r"], "b")
+
+    def test_size_schedules_respect_theorem_regime(self):
+        import math
+        schedules = coalition_size_schedules()
+        for name, f in schedules.items():
+            for n in (64, 1024, 65536):
+                t = f(n)
+                assert 1 <= t, name
+                # t = o(n / log n): check t stays under n/log2(n) at scale.
+                assert t <= n / math.log2(n), (name, n)
+
+    def test_schedule_growth(self):
+        schedules = coalition_size_schedules()
+        assert schedules["single"](4096) == 1
+        assert schedules["sqrt"](4096) == 64
+        assert schedules["n_over_log2"](4096) == 4096 // 144

@@ -1,0 +1,201 @@
+"""Unit tests for the honest agent's per-phase behaviour (white box).
+
+These drive a single :class:`HonestAgent` directly — no engine — so each
+rule of Algorithm 1 is pinned in isolation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.agent import TOPIC_CERTIFICATE, TOPIC_INTENTION, HonestAgent
+from repro.core.certificate import Certificate, CertificatePayload, ReceivedVote
+from repro.core.defenses import Defenses
+from repro.core.outcome import FailReason
+from repro.core.params import Phase, ProtocolParams
+from repro.core.votes import IntentionPayload, VotePayload
+from repro.gossip.actions import Pull, Push
+from repro.gossip.messages import NO_REPLY
+from repro.util.rng import SeedTree
+
+
+@pytest.fixture
+def params() -> ProtocolParams:
+    return ProtocolParams(n=16, gamma=1.0)  # q = 4
+
+
+@pytest.fixture
+def agent(params) -> HonestAgent:
+    return HonestAgent(3, params, "teal", SeedTree(99))
+
+
+def round_in(params: ProtocolParams, phase: Phase, idx: int = 0) -> int:
+    return params.phase_range(phase).start + idx
+
+
+class TestActions:
+    def test_commitment_rounds_pull_intentions(self, agent, params):
+        for idx in range(params.q):
+            action = agent.begin_round(round_in(params, Phase.COMMITMENT, idx))
+            assert isinstance(action, Pull)
+            assert action.topic == TOPIC_INTENTION
+            assert action.target != agent.node_id
+
+    def test_voting_rounds_push_planned_votes(self, agent, params):
+        for idx in range(params.q):
+            action = agent.begin_round(round_in(params, Phase.VOTING, idx))
+            assert isinstance(action, Push)
+            planned = agent.intention[idx]
+            assert action.target == planned.target
+            assert isinstance(action.payload, VotePayload)
+            assert action.payload.value == planned.value
+
+    def test_find_min_builds_certificate_then_pulls(self, agent, params):
+        assert agent.certificate is None
+        action = agent.begin_round(round_in(params, Phase.FIND_MIN))
+        assert isinstance(action, Pull)
+        assert action.topic == TOPIC_CERTIFICATE
+        assert agent.certificate is not None
+        assert agent.min_certificate == agent.certificate
+
+    def test_coherence_pushes_current_minimum(self, agent, params):
+        agent.begin_round(round_in(params, Phase.FIND_MIN))
+        action = agent.begin_round(round_in(params, Phase.COHERENCE))
+        assert isinstance(action, Push)
+        assert isinstance(action.payload, CertificatePayload)
+        assert action.payload.certificate == agent.min_certificate
+
+
+class TestPassiveBehaviour:
+    def test_serves_intention_pulls_and_records_requester(self, agent, params):
+        reply = agent.on_pull_request(7, TOPIC_INTENTION,
+                                      round_in(params, Phase.COMMITMENT))
+        assert isinstance(reply, IntentionPayload)
+        assert reply.intention == agent.intention
+        assert agent.commitment_pulls_received == [7]
+
+    def test_certificate_pull_before_build_gets_no_reply(self, agent, params):
+        reply = agent.on_pull_request(7, TOPIC_CERTIFICATE,
+                                      round_in(params, Phase.COMMITMENT))
+        assert reply is NO_REPLY
+
+    def test_unknown_topic_no_reply(self, agent, params):
+        assert agent.on_pull_request(7, "gossip-me-your-secrets", 0) is NO_REPLY
+
+    def test_votes_collected_only_in_voting_phase(self, agent, params):
+        vote = VotePayload(123, params.vote_message_bits())
+        agent.on_push(5, vote, round_in(params, Phase.COMMITMENT))
+        assert agent.received_votes == []
+        agent.on_push(5, vote, round_in(params, Phase.VOTING, 2))
+        assert agent.received_votes == [ReceivedVote(5, 2, 123)]
+
+    def test_commitment_timeout_marks_faulty(self, agent, params):
+        agent.on_pull_timeout(9, round_in(params, Phase.COMMITMENT))
+        assert agent.ledger.record_for(9).marked_faulty
+
+    def test_findmin_timeout_ignored(self, agent, params):
+        agent.on_pull_timeout(9, round_in(params, Phase.FIND_MIN))
+        assert not agent.ledger.knows(9)
+
+    def test_malformed_commitment_reply_marks_faulty(self, agent, params):
+        # "Replies in an unexpected way" (footnote 4): wrong-length list.
+        from repro.core.votes import PlannedVote, VoteIntention
+        bad = IntentionPayload(VoteIntention((PlannedVote(1, 2),)), 10)
+        agent.on_pull_reply(9, bad, round_in(params, Phase.COMMITMENT))
+        assert agent.ledger.record_for(9).marked_faulty
+
+
+class TestFindMinAdoption:
+    def make_cert(self, params, k, owner, color="x"):
+        return Certificate(k, (), color, owner)
+
+    def payload(self, params, cert):
+        return CertificatePayload(cert, cert.size_bits(params))
+
+    def test_adopts_smaller_k(self, agent, params):
+        # Receive one vote so our own k is non-zero, then see a k=0 cert.
+        agent.on_push(5, VotePayload(77, params.vote_message_bits()),
+                      round_in(params, Phase.VOTING, 0))
+        agent.begin_round(round_in(params, Phase.FIND_MIN))
+        assert agent.certificate.k == 77
+        low = self.make_cert(params, 0, 9)
+        agent.on_pull_reply(9, self.payload(params, low),
+                            round_in(params, Phase.FIND_MIN, 1))
+        assert agent.min_certificate == low
+
+    def test_ignores_larger_k(self, agent, params):
+        agent.begin_round(round_in(params, Phase.FIND_MIN))
+        mine = agent.min_certificate
+        high = self.make_cert(params, params.m - 1, 9)
+        agent.on_pull_reply(9, self.payload(params, high),
+                            round_in(params, Phase.FIND_MIN, 1))
+        assert agent.min_certificate == mine
+
+    def test_tie_breaks_toward_smaller_owner(self, agent, params):
+        agent.begin_round(round_in(params, Phase.FIND_MIN))
+        k = agent.certificate.k
+        smaller_owner = self.make_cert(params, k, min(0, agent.node_id - 1))
+        agent.on_pull_reply(0, self.payload(params, smaller_owner),
+                            round_in(params, Phase.FIND_MIN, 1))
+        assert agent.min_certificate == smaller_owner
+
+
+class TestCoherenceAndFinalize:
+    def test_mismatching_certificate_fails_agent(self, agent, params):
+        agent.begin_round(round_in(params, Phase.FIND_MIN))
+        other = Certificate(1, (), "y", 9)
+        agent.on_push(9, CertificatePayload(other, 10),
+                      round_in(params, Phase.COHERENCE))
+        assert agent.failed
+        assert agent.fail_reason is FailReason.COHERENCE_MISMATCH
+
+    def test_matching_certificate_keeps_agent_healthy(self, agent, params):
+        agent.begin_round(round_in(params, Phase.FIND_MIN))
+        same = agent.min_certificate
+        agent.on_push(9, CertificatePayload(same, 10),
+                      round_in(params, Phase.COHERENCE))
+        assert not agent.failed
+
+    def test_finalize_accepts_own_consistent_certificate(self, agent, params):
+        agent.begin_round(round_in(params, Phase.FIND_MIN))
+        agent.finalize()
+        assert agent.decision == "teal"  # own empty-W cert is consistent
+
+    def test_finalize_after_failure_decides_nothing(self, agent, params):
+        agent.begin_round(round_in(params, Phase.FIND_MIN))
+        agent._fail(FailReason.COHERENCE_MISMATCH)
+        agent.finalize()
+        assert agent.decision is None
+
+    def test_finalize_rejects_inconsistent_certificate(self, agent, params):
+        agent.begin_round(round_in(params, Phase.FIND_MIN))
+        agent.min_certificate = Certificate(0, (ReceivedVote(5, 0, 77),),
+                                            "y", 9)  # k != sum
+        agent.finalize()
+        assert agent.failed
+        assert agent.fail_reason is FailReason.VERIFICATION_FAILED
+
+
+class TestDefenseToggles:
+    def test_commitment_off_idles(self, params):
+        a = HonestAgent(3, params, "c", SeedTree(1),
+                        defenses=Defenses(commitment=False))
+        assert a.begin_round(round_in(params, Phase.COMMITMENT)) is None
+
+    def test_coherence_off_idles_and_never_fails(self, params):
+        a = HonestAgent(3, params, "c", SeedTree(1),
+                        defenses=Defenses(coherence=False))
+        a.begin_round(round_in(params, Phase.FIND_MIN))
+        assert a.begin_round(round_in(params, Phase.COHERENCE)) is None
+        other = Certificate(1, (), "y", 9)
+        a.on_push(9, CertificatePayload(other, 10),
+                  round_in(params, Phase.COHERENCE))
+        assert not a.failed
+
+    def test_verify_k_off_accepts_k_lie(self, params):
+        a = HonestAgent(3, params, "c", SeedTree(1),
+                        defenses=Defenses(verify_k=False))
+        a.begin_round(round_in(params, Phase.FIND_MIN))
+        a.min_certificate = Certificate(0, (ReceivedVote(5, 0, 77),), "y", 9)
+        a.finalize()
+        assert a.decision == "y"

@@ -1,0 +1,183 @@
+"""Tests for the statistics / fairness / equilibrium / scaling analysis."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.equilibrium import estimate_utility, gain
+from repro.analysis.fairness import (
+    chi_square_fairness,
+    empirical_distribution,
+    expected_distribution,
+    fail_rate,
+    total_variation,
+)
+from repro.analysis.scaling import SHAPES, fit_against, r_squared
+from repro.analysis.stats import mean_ci, wilson_interval
+
+
+class TestWilson:
+    def test_midpoint_interval(self):
+        lo, hi = wilson_interval(50, 100)
+        assert lo < 0.5 < hi
+        assert hi - lo < 0.25
+
+    def test_boundary_zero(self):
+        lo, hi = wilson_interval(0, 100)
+        assert lo == 0.0
+        assert 0 < hi < 0.1
+
+    def test_boundary_all(self):
+        lo, hi = wilson_interval(100, 100)
+        assert hi == 1.0
+        assert 0.9 < lo < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+    @given(st.integers(min_value=1, max_value=10_000), st.data())
+    @settings(max_examples=50)
+    def test_property_contains_mle(self, trials, data):
+        successes = data.draw(st.integers(min_value=0, max_value=trials))
+        lo, hi = wilson_interval(successes, trials)
+        assert 0 <= lo <= successes / trials <= hi <= 1
+
+
+class TestMeanCI:
+    def test_exact_for_constant_sample(self):
+        mean, half = mean_ci([3.0, 3.0, 3.0])
+        assert mean == 3.0 and half == 0.0
+
+    def test_single_sample_infinite_ci(self):
+        mean, half = mean_ci([5.0])
+        assert mean == 5.0 and math.isinf(half)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+
+
+class TestFairnessMetrics:
+    def test_expected_distribution(self):
+        colors = ["r", "r", "b", "g"]
+        dist = expected_distribution(colors)
+        assert dist == {"r": 0.5, "b": 0.25, "g": 0.25}
+
+    def test_expected_distribution_active_subset(self):
+        colors = ["r", "r", "b", "g"]
+        dist = expected_distribution(colors, active=[2, 3])
+        assert dist == {"b": 0.5, "g": 0.5}
+
+    def test_empirical_excludes_failures(self):
+        dist = empirical_distribution(["r", None, "r", "b"])
+        assert dist == {"r": 2 / 3, "b": 1 / 3}
+
+    def test_fail_rate(self):
+        assert fail_rate(["r", None, None, "b"]) == 0.5
+
+    def test_tv_identity(self):
+        p = {"a": 0.5, "b": 0.5}
+        assert total_variation(p, p) == 0.0
+
+    def test_tv_disjoint(self):
+        assert total_variation({"a": 1.0}, {"b": 1.0}) == 1.0
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c"]),
+            st.floats(min_value=0, max_value=1),
+            min_size=1,
+        )
+    )
+    @settings(max_examples=40)
+    def test_property_tv_symmetric_bounded(self, raw):
+        total = sum(raw.values()) or 1.0
+        p = {k: v / total for k, v in raw.items()}
+        q = {"a": 0.2, "b": 0.3, "c": 0.5}
+        assert total_variation(p, q) == pytest.approx(total_variation(q, p))
+        assert 0 <= total_variation(p, q) <= 1 + 1e-9
+
+    def test_chi_square_accepts_matching(self):
+        outcomes = ["r"] * 52 + ["b"] * 48
+        _stat, p = chi_square_fairness(outcomes, {"r": 0.5, "b": 0.5})
+        assert p > 0.05
+
+    def test_chi_square_rejects_skewed(self):
+        outcomes = ["r"] * 95 + ["b"] * 5
+        _stat, p = chi_square_fairness(outcomes, {"r": 0.5, "b": 0.5})
+        assert p < 0.001
+
+    def test_chi_square_impossible_winner(self):
+        stat, p = chi_square_fairness(["ghost"], {"r": 1.0, "ghost": 0.0})
+        assert math.isinf(stat) and p == 0.0
+
+    def test_chi_square_needs_successes(self):
+        with pytest.raises(ValueError):
+            chi_square_fairness([None, None], {"r": 1.0})
+
+
+class TestEquilibrium:
+    def test_estimate_utility_fields(self):
+        u = estimate_utility(["b", "r", None, "b"], "b", chi=2.0)
+        assert u.wins == 2 and u.failures == 1 and u.trials == 4
+        assert u.win_prob == 0.5
+        assert u.expected_utility == 0.5 - 2.0 * 0.25
+
+    def test_gain_sign(self):
+        honest = estimate_utility(["b"] * 3 + ["r"] * 7, "b", chi=1.0)
+        worse = estimate_utility(["b"] * 1 + [None] * 9, "b", chi=1.0)
+        assert gain(honest, worse) < 0
+
+    def test_gain_requires_same_color_and_chi(self):
+        a = estimate_utility(["b"], "b", chi=1.0)
+        b = estimate_utility(["r"], "r", chi=1.0)
+        with pytest.raises(ValueError):
+            gain(a, b)
+        c = estimate_utility(["b"], "b", chi=0.0)
+        with pytest.raises(ValueError):
+            gain(a, c)
+
+    def test_ci_methods(self):
+        u = estimate_utility(["b"] * 30 + ["r"] * 70, "b")
+        lo, hi = u.win_prob_ci()
+        assert lo < 0.3 < hi
+
+
+class TestScaling:
+    def test_perfect_log_fit(self):
+        ns = [64, 128, 256, 512]
+        values = [5 * math.log2(n) + 3 for n in ns]
+        a, b, r2 = fit_against(ns, values, "log n")
+        assert a == pytest.approx(5.0)
+        assert b == pytest.approx(3.0)
+        assert r2 == pytest.approx(1.0)
+
+    def test_wrong_shape_fits_worse(self):
+        ns = [64, 128, 256, 512, 1024, 2048]
+        values = [7 * math.log2(n) for n in ns]
+        _, _, r2_log = fit_against(ns, values, "log n")
+        _, _, r2_lin = fit_against(ns, values, "n")
+        assert r2_log > r2_lin
+
+    def test_unknown_shape(self):
+        with pytest.raises(ValueError):
+            fit_against([1, 2], [1, 2], "n!")
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            fit_against([1], [1], "n")
+
+    def test_r_squared_constant_series(self):
+        assert r_squared([2, 2, 2], [2, 2, 2]) == 1.0
+        assert r_squared([2, 2, 2], [3, 3, 3]) == 0.0
+
+    def test_all_shapes_evaluate(self):
+        for name, f in SHAPES.items():
+            assert f(64) > 0, name

@@ -1,0 +1,140 @@
+"""Tests for the baseline protocols (LOCAL, naive gossip, polling)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.baselines.local_broadcast import run_local_fair_election
+from repro.baselines.naive_gossip import run_naive_gossip
+from repro.baselines.polling import run_polling
+from tests.conftest import two_color_split
+
+
+class TestLocalBroadcast:
+    def test_outcome_is_a_valid_color(self):
+        colors = two_color_split(32, 0.5)
+        res = run_local_fair_election(colors, seed=1)
+        assert res.outcome in {"red", "blue"}
+        assert colors[res.winner] == res.outcome
+
+    def test_message_count_is_quadratic(self):
+        colors = two_color_split(50, 0.5)
+        res = run_local_fair_election(colors, seed=2)
+        assert res.messages == 2 * 50 * 49
+
+    def test_faulty_agents_excluded(self):
+        colors = two_color_split(32, 0.5)
+        faulty = frozenset(range(8))
+        res = run_local_fair_election(colors, seed=3, faulty=faulty)
+        assert res.winner not in faulty
+        assert res.messages == 2 * 24 * 31
+
+    def test_memory_is_linear(self):
+        res = run_local_fair_election(two_color_split(64, 0.5), seed=4)
+        assert res.local_memory_entries == 64
+
+    def test_two_rounds_only(self):
+        res = run_local_fair_election(two_color_split(16, 0.5), seed=5)
+        assert res.rounds == 2
+
+    def test_deterministic(self):
+        colors = two_color_split(32, 0.5)
+        a = run_local_fair_election(colors, seed=7)
+        b = run_local_fair_election(colors, seed=7)
+        assert a == b
+
+    def test_fairness_shape(self):
+        # Winner uniform over agents: with 75/25 colors, red should win
+        # roughly 3x as often as blue.
+        colors = two_color_split(40, 0.75)
+        wins = Counter(
+            run_local_fair_election(colors, seed=s).outcome
+            for s in range(200)
+        )
+        assert 0.6 < wins["red"] / 200 < 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_local_fair_election(["a"])
+        with pytest.raises(ValueError):
+            run_local_fair_election(["a", "b"], faulty=frozenset({0, 1}))
+
+
+class TestNaiveGossip:
+    def test_honest_run_elects_someone(self):
+        res = run_naive_gossip(two_color_split(32, 0.5), seed=1)
+        assert res.outcome in {"red", "blue"}
+        assert not res.cheater_won
+
+    def test_cheater_always_wins(self):
+        colors = two_color_split(32, 0.9)  # cheater supports 10% blue
+        blue0 = colors.index("blue")
+        for s in range(10):
+            res = run_naive_gossip(colors, seed=s,
+                                   cheaters=frozenset({blue0}))
+            assert res.cheater_won
+            assert res.outcome == "blue"
+
+    def test_message_complexity_subquadratic(self):
+        n = 128
+        res = run_naive_gossip(two_color_split(n, 0.5), seed=2)
+        assert res.messages < n * n
+
+    def test_faulty_tolerated(self):
+        colors = two_color_split(32, 0.5)
+        res = run_naive_gossip(colors, seed=3, gamma=5.0,
+                               faulty=frozenset(range(8)))
+        assert res.outcome is not None
+        assert res.winner >= 8
+
+    def test_too_small_network_rejected(self):
+        with pytest.raises(ValueError):
+            run_naive_gossip(["only"])
+
+
+class TestPolling:
+    def test_converges_to_valid_color(self):
+        res = run_polling(two_color_split(32, 0.5), seed=1)
+        assert res.converged
+        assert res.outcome in {"red", "blue"}
+
+    def test_monochromatic_is_instant(self):
+        res = run_polling(["x"] * 16, seed=2)
+        assert res.converged and res.outcome == "x"
+        assert res.rounds <= 1
+
+    def test_stubborn_agent_wins_when_converged(self):
+        colors = two_color_split(24, 0.9)
+        blue0 = colors.index("blue")
+        won = 0
+        for s in range(8):
+            res = run_polling(colors, seed=s, stubborn=frozenset({blue0}),
+                              max_rounds=20000)
+            if res.converged:
+                assert res.outcome == "blue"
+                assert res.stubborn_won
+                won += 1
+        assert won >= 6  # absorption at the stubborn color is typical
+
+    def test_takes_many_more_rounds_than_log_n(self):
+        import math
+        n = 64
+        rounds = [
+            run_polling(two_color_split(n, 0.5), seed=s).rounds
+            for s in range(5)
+        ]
+        assert sum(rounds) / len(rounds) > 3 * math.log2(n)
+
+    def test_faulty_agents_do_not_block(self):
+        colors = two_color_split(32, 0.5)
+        res = run_polling(colors, seed=4, faulty=frozenset(range(8)))
+        assert res.converged
+
+    def test_respects_max_rounds_cap(self):
+        colors = two_color_split(64, 0.5)
+        res = run_polling(colors, seed=5, max_rounds=2)
+        assert res.rounds <= 2
+        if not res.converged:
+            assert res.outcome is None

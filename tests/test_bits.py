@@ -1,0 +1,57 @@
+"""Tests for bit-size accounting helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bits import (
+    bits_for_range,
+    color_bits,
+    label_bits,
+    round_index_bits,
+    vote_bits,
+)
+
+
+class TestBitsForRange:
+    def test_domain_of_one_costs_one_bit(self):
+        assert bits_for_range(1) == 1
+
+    def test_powers_of_two(self):
+        assert bits_for_range(2) == 1
+        assert bits_for_range(256) == 8
+        assert bits_for_range(1024) == 10
+
+    def test_non_powers_round_up(self):
+        assert bits_for_range(3) == 2
+        assert bits_for_range(1000) == 10
+        assert bits_for_range(1025) == 11
+
+    def test_invalid_domain(self):
+        with pytest.raises(ValueError):
+            bits_for_range(0)
+
+    @given(st.integers(min_value=2, max_value=10**9))
+    def test_property_encodable(self, size):
+        # 2^bits must cover the domain, and bits must be minimal.
+        b = bits_for_range(size)
+        assert 2 ** b >= size
+        assert 2 ** (b - 1) < size
+
+
+class TestDomainHelpers:
+    def test_vote_bits_is_three_label_bits_for_powers_of_two(self):
+        # m = n^3 => log2 m = 3 log2 n exactly when n is a power of two.
+        n = 64
+        assert vote_bits(n ** 3) == 3 * label_bits(n)
+
+    def test_label_bits_small(self):
+        assert label_bits(2) == 1
+
+    def test_color_bits_monotone(self):
+        assert color_bits(2) <= color_bits(5) <= color_bits(100)
+
+    def test_round_index_bits(self):
+        assert round_index_bits(8) == 3

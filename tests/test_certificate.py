@@ -1,0 +1,88 @@
+"""Tests for certificates and their ordering/size model."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.certificate import Certificate, ReceivedVote, compute_k
+from repro.core.params import ProtocolParams
+
+
+def votes_strategy(n: int = 32, q: int = 10, m: int = 32**3):
+    vote = st.builds(
+        ReceivedVote,
+        voter=st.integers(min_value=0, max_value=n - 1),
+        round_index=st.integers(min_value=0, max_value=q - 1),
+        value=st.integers(min_value=0, max_value=m - 1),
+    )
+    return st.lists(vote, max_size=20)
+
+
+class TestComputeK:
+    def test_empty_votes_give_zero(self):
+        assert compute_k([], m=1000) == 0
+
+    def test_sum_mod_m(self):
+        votes = [ReceivedVote(1, 0, 700), ReceivedVote(2, 1, 500)]
+        assert compute_k(votes, m=1000) == 200
+
+    @given(votes_strategy())
+    @settings(max_examples=50)
+    def test_property_k_in_range(self, votes):
+        m = 32 ** 3
+        assert 0 <= compute_k(votes, m) < m
+
+
+class TestBuild:
+    def test_build_computes_k_and_sorts_votes(self):
+        m = 1000
+        votes = [ReceivedVote(5, 2, 10), ReceivedVote(3, 0, 20)]
+        cert = Certificate.build(votes, "red", owner=7, m=m)
+        assert cert.k == 30
+        assert cert.votes == (ReceivedVote(3, 0, 20), ReceivedVote(5, 2, 10))
+        assert cert.color == "red" and cert.owner == 7
+
+    def test_self_consistency(self):
+        m = 1000
+        cert = Certificate.build([ReceivedVote(1, 0, 999)], "c", 0, m)
+        assert cert.is_self_consistent(m)
+        forged = Certificate(k=0, votes=cert.votes, color="c", owner=0)
+        assert not forged.is_self_consistent(m)
+
+    @given(votes_strategy())
+    @settings(max_examples=50)
+    def test_property_build_always_self_consistent(self, votes):
+        m = 32 ** 3
+        cert = Certificate.build(votes, "x", 31, m)
+        assert cert.is_self_consistent(m)
+
+
+class TestOrdering:
+    def test_sort_key_orders_by_k_then_owner(self):
+        a = Certificate(5, (), "c", owner=9)
+        b = Certificate(5, (), "c", owner=2)
+        c = Certificate(4, (), "c", owner=9)
+        assert c.sort_key < b.sort_key < a.sort_key
+
+    def test_equality_includes_all_fields(self):
+        a = Certificate(5, (), "red", 1)
+        b = Certificate(5, (), "blue", 1)
+        assert a != b
+        assert a == Certificate(5, (), "red", 1)
+
+
+class TestSize:
+    def test_size_matches_params_model(self):
+        p = ProtocolParams(n=64, gamma=2.0)
+        votes = tuple(ReceivedVote(i, 0, i) for i in range(1, 6))
+        cert = Certificate.build(votes, "c", 0, p.m)
+        assert cert.size_bits(p) == p.certificate_bits(5)
+
+    def test_more_votes_cost_more_bits(self):
+        p = ProtocolParams(n=64)
+        small = Certificate.build([ReceivedVote(1, 0, 1)], "c", 0, p.m)
+        big = Certificate.build(
+            [ReceivedVote(i, 0, 1) for i in range(1, 11)], "c", 0, p.m
+        )
+        assert big.size_bits(p) > small.size_bits(p)

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.n == 100 and args.split == 60
+
+    def test_experiment_requires_known_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "e99"])
+
+    def test_strategy_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--strategy", "bribe"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestRunCommand:
+    def test_basic_run_prints_outcome(self, capsys):
+        rc = main(["run", "--n", "32", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "outcome" in out
+        assert "'red'" in out or "'blue'" in out
+
+    def test_run_with_faults(self, capsys):
+        rc = main(["run", "--n", "32", "--faults", "8", "--gamma", "4",
+                   "--seed", "1"])
+        assert rc == 0
+        assert "outcome" in capsys.readouterr().out
+
+    def test_run_with_attack_reports_failure(self, capsys):
+        rc = main(["run", "--n", "32", "--split", "75",
+                   "--strategy", "underbid_alter", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0  # attacked runs report status, exit 0
+        assert "None" in out  # the lie was caught -> outcome ⊥
+
+    def test_run_coalition_too_large(self, capsys):
+        rc = main(["run", "--n", "10", "--split", "90",
+                   "--strategy", "silent", "--coalition", "5"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_monochromatic_via_split_100(self, capsys):
+        rc = main(["run", "--n", "16", "--split", "100", "--seed", "4"])
+        assert rc == 0
+        assert "'red'" in capsys.readouterr().out
+
+
+class TestExperimentCommand:
+    def test_e1_tiny(self, capsys):
+        rc = main(["experiment", "e1", "--trials", "30", "--serial"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Fairness" in out
+        assert "balanced" in out
+
+    def test_e4_prints_two_tables(self, capsys):
+        rc = main(["experiment", "e4", "--trials", "3", "--serial"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Communication" in out
+        assert "Shape fits" in out
+
+
+class TestListCommand:
+    def test_lists_everything(self, capsys):
+        rc = main(["list"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "underbid_alter" in out
+        assert "leader_election" in out
+        assert "e10" in out

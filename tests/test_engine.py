@@ -1,0 +1,214 @@
+"""Tests for the synchronous GOSSIP engine and its model enforcement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gossip.actions import Idle, Pull, Push
+from repro.gossip.engine import GossipEngine, ProtocolViolation
+from repro.gossip.messages import NO_REPLY, Blob
+from repro.gossip.metrics import MessageMetrics
+from repro.gossip.node import FaultyNode, Node
+from repro.gossip.trace import EventTrace
+
+
+class Recorder(Node):
+    """A passive node logging everything it observes."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.pushes: list[tuple[int, object, int]] = []
+        self.requests: list[tuple[int, str, int]] = []
+        self.replies: list[tuple[int, object, int]] = []
+        self.timeouts: list[tuple[int, int]] = []
+        self.reply_with: object = NO_REPLY
+        self.next_action = None
+
+    def begin_round(self, rnd):
+        action, self.next_action = self.next_action, None
+        return action
+
+    def on_push(self, sender, payload, rnd):
+        self.pushes.append((sender, payload, rnd))
+
+    def on_pull_request(self, requester, topic, rnd):
+        self.requests.append((requester, topic, rnd))
+        return self.reply_with
+
+    def on_pull_reply(self, responder, payload, rnd):
+        self.replies.append((responder, payload, rnd))
+
+    def on_pull_timeout(self, target, rnd):
+        self.timeouts.append((target, rnd))
+
+
+def make_network(n: int) -> tuple[dict[int, Recorder], GossipEngine]:
+    nodes = {i: Recorder(i) for i in range(n)}
+    return nodes, GossipEngine(nodes, trace=EventTrace())
+
+
+class TestDelivery:
+    def test_push_delivered_with_true_sender(self):
+        nodes, engine = make_network(3)
+        nodes[0].next_action = Push(2, Blob(5, "hello"))
+        engine.run_round()
+        assert nodes[2].pushes == [(0, Blob(5, "hello"), 0)]
+
+    def test_pull_round_trip(self):
+        nodes, engine = make_network(3)
+        nodes[1].reply_with = Blob(7, "data")
+        nodes[0].next_action = Pull(1, "topic")
+        engine.run_round()
+        assert nodes[1].requests == [(0, "topic", 0)]
+        assert nodes[0].replies == [(1, Blob(7, "data"), 0)]
+
+    def test_no_reply_becomes_timeout(self):
+        nodes, engine = make_network(2)
+        nodes[0].next_action = Pull(1, "t")
+        engine.run_round()
+        assert nodes[0].timeouts == [(1, 0)]
+        assert nodes[0].replies == []
+
+    def test_pull_on_faulty_times_out(self):
+        nodes = {0: Recorder(0), 1: FaultyNode(1)}
+        engine = GossipEngine(nodes)
+        nodes[0].next_action = Pull(1, "t")
+        engine.run_round()
+        assert nodes[0].timeouts == [(1, 0)]
+
+    def test_idle_and_none_equivalent(self):
+        nodes, engine = make_network(2)
+        nodes[0].next_action = Idle()
+        engine.run_round()  # must not raise; nothing delivered
+        assert engine.metrics.total_messages == 0
+
+    def test_multiple_receives_in_one_round(self):
+        # GOSSIP: at most one ACTIVE op each, but unlimited passive receives.
+        nodes, engine = make_network(4)
+        for i in (0, 1, 2):
+            nodes[i].next_action = Push(3, Blob(1, i))
+        engine.run_round()
+        assert [p[0] for p in nodes[3].pushes] == [0, 1, 2]
+
+
+class TestReplySnapshotSemantics:
+    def test_information_moves_one_hop_per_round(self):
+        """A reply must not expose data pushed to the responder this round."""
+
+        class Holder(Recorder):
+            def __init__(self, node_id):
+                super().__init__(node_id)
+                self.value = None
+
+            def on_push(self, sender, payload, rnd):
+                super().on_push(sender, payload, rnd)
+                self.value = payload.data
+
+            def on_pull_request(self, requester, topic, rnd):
+                # Replies are gathered before pushes are delivered, so
+                # self.value must still be None in round 0.
+                return Blob(1, self.value)
+
+        nodes = {0: Recorder(0), 1: Holder(1), 2: Recorder(2)}
+        engine = GossipEngine(nodes)
+        nodes[0].next_action = Push(1, Blob(1, "secret"))
+        nodes[2].next_action = Pull(1, "t")
+        engine.run_round()
+        # Node 2 pulled node 1 in the same round node 0 pushed to it:
+        # the reply reflects the start-of-round state.
+        assert nodes[2].replies[0][1].data is None
+        assert nodes[1].value == "secret"
+
+
+class TestModelEnforcement:
+    def test_self_gossip_rejected(self):
+        nodes, engine = make_network(2)
+        nodes[0].next_action = Push(0, Blob(1))
+        with pytest.raises(ProtocolViolation):
+            engine.run_round()
+
+    def test_unknown_target_rejected(self):
+        nodes, engine = make_network(2)
+        nodes[1].next_action = Pull(99, "t")
+        with pytest.raises(ProtocolViolation):
+            engine.run_round()
+
+    def test_invalid_action_type_rejected(self):
+        nodes, engine = make_network(2)
+        nodes[0].next_action = "push-two-messages-please"
+        with pytest.raises(ProtocolViolation):
+            engine.run_round()
+
+    def test_node_id_label_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            GossipEngine({0: Recorder(1)})
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            GossipEngine({})
+
+
+class TestMetrics:
+    def test_push_accounting(self):
+        nodes, engine = make_network(4)  # label_bits(4) = 2 -> header 4 bits
+        nodes[0].next_action = Push(1, Blob(10))
+        engine.run_round()
+        m = engine.metrics
+        assert m.pushes == 1
+        assert m.total_bits == 4 + 10
+        assert m.max_message_bits == 14
+
+    def test_pull_accounting(self):
+        nodes, engine = make_network(4)
+        nodes[1].reply_with = Blob(20)
+        nodes[0].next_action = Pull(1, "t")
+        engine.run_round()
+        m = engine.metrics
+        assert m.pull_requests == 1
+        assert m.pull_replies == 1
+        # request: header+topic; reply: header+payload
+        assert m.total_bits == (4 + 2) + (4 + 20)
+        assert m.max_message_bits == 24
+
+    def test_unanswered_pull_counts_request_only(self):
+        nodes, engine = make_network(4)
+        nodes[0].next_action = Pull(1, "t")
+        engine.run_round()
+        assert engine.metrics.pull_requests == 1
+        assert engine.metrics.pull_replies == 0
+
+    def test_round_counter_and_per_round(self):
+        nodes, engine = make_network(2)
+        nodes[0].next_action = Push(1, Blob(1))
+        engine.run_round()
+        engine.run_round()
+        assert engine.metrics.rounds == 2
+        assert engine.metrics.per_round_messages == [1, 0]
+
+    def test_merge(self):
+        a, b = MessageMetrics(), MessageMetrics()
+        a.start_round(); a.record_push(10)
+        b.start_round(); b.record_push(30)
+        a.merge(b)
+        assert a.pushes == 2
+        assert a.max_message_bits == 30
+        assert a.rounds == 2
+
+
+class TestTrace:
+    def test_trace_records_every_exchange(self):
+        nodes, engine = make_network(3)
+        nodes[1].reply_with = Blob(1)
+        nodes[0].next_action = Push(2, Blob(1))
+        nodes[2].next_action = Pull(1, "t")
+        engine.run_round()
+        kinds = sorted(e.kind for e in engine.trace)
+        assert kinds == ["pull_reply", "pull_request", "push"]
+
+    def test_trace_round_filter(self):
+        nodes, engine = make_network(2)
+        nodes[0].next_action = Push(1, Blob(1))
+        engine.run_round()
+        engine.run_round()
+        assert len(engine.trace.in_round(0)) == 1
+        assert len(engine.trace.in_round(1)) == 0

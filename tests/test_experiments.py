@@ -1,0 +1,136 @@
+"""Smoke + correctness tests for the experiment harness (tiny scales).
+
+Each experiment must run end-to-end, produce a well-formed table, and
+show the *direction* of the paper's claim even at toy sizes.  Full-scale
+numbers live in benchmarks/ and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import workloads
+from repro.experiments.e1_fairness import E1Options, run as run_e1
+from repro.experiments.e2_rounds import E2Options, run as run_e2
+from repro.experiments.e3_message_size import E3Options, run as run_e3
+from repro.experiments.e4_communication import E4Options, run as run_e4
+from repro.experiments.e5_good_executions import E5Options, run as run_e5
+from repro.experiments.e6_faults import E6Options, run as run_e6
+from repro.experiments.runner import default_workers, run_trials
+
+
+class TestRunner:
+    def test_sequential_matches_parallel(self):
+        args = list(range(20))
+        seq = run_trials(_square, args, parallel=False)
+        par = run_trials(_square, args, parallel=True, max_workers=4)
+        assert seq == par == [a * a for a in args]
+
+    def test_empty_args(self):
+        assert run_trials(_square, []) == []
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+    def test_order_preserved(self):
+        args = [5, 1, 3]
+        assert run_trials(_square, args, parallel=True) == [25, 1, 9]
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestWorkloads:
+    def test_balanced_split(self):
+        colors = workloads.balanced(10)
+        assert colors.count("red") == 5 and colors.count("blue") == 5
+
+    def test_skewed_minority(self):
+        colors = workloads.skewed(100, 0.1)
+        assert colors.count("blue") == 10
+
+    def test_skewed_never_empty_minority(self):
+        assert "blue" in workloads.skewed(5, 0.01)
+
+    def test_multiway_partition(self):
+        colors = workloads.multiway(100)
+        assert len(colors) == 100
+        assert set(colors) == {"c0", "c1", "c2", "c3"}
+
+    def test_leader_election_unique(self):
+        colors = workloads.leader_election(32)
+        assert len(set(colors)) == 32
+
+
+class TestE1:
+    def test_fairness_direction(self):
+        table = run_e1(E1Options(sizes=(32,), workloads=("balanced",),
+                                 trials=120, parallel=False))
+        assert len(table.rows) == 1
+        tv = table.column("TV distance")[0]
+        assert tv < 0.15  # fair up to Monte-Carlo noise
+        assert table.column("fail_rate")[0] < 0.05
+
+
+class TestE2:
+    def test_log_fit_beats_linear(self):
+        main, fits = run_e2(E2Options(sizes=(32, 64, 128, 256, 512),
+                                      trials=10, parallel=False))
+        assert len(main.rows) == 5
+        rows = {(r[0], r[1]): r for r in
+                zip(fits.column("quantity"), fits.column("fitted shape"),
+                    fits.column("R^2"))}
+        assert rows[("schedule rounds", "log n")][2] > 0.99
+        assert rows[("schedule rounds", "log n")][2] > \
+            rows[("schedule rounds", "n")][2]
+
+
+class TestE3:
+    def test_log2_fit_wins(self):
+        main, fits = run_e3(E3Options(sizes=(32, 64, 128, 256, 512, 1024),
+                                      trials=8, parallel=False))
+        r2 = dict(zip(fits.column("fitted shape"), fits.column("R^2")))
+        assert r2["log^2 n"] > 0.98
+        assert r2["log^2 n"] > r2["n"]
+
+
+class TestE4:
+    def test_protocol_beats_local_at_scale(self):
+        main, _fits = run_e4(E4Options(sizes=(32, 256), trials=5,
+                                       parallel=False))
+        ratios = main.column("msg ratio (P/LOCAL)")
+        assert ratios[-1] < 1.0        # P wins at n=256
+        assert ratios[-1] < ratios[0]  # and the advantage grows
+
+
+class TestE5:
+    def test_gamma_buys_goodness(self):
+        table = run_e5(E5Options(sizes=(64,), gammas=(0.5, 3.0), trials=60,
+                                 parallel=False))
+        rates = table.column("good rate")
+        assert rates[1] >= rates[0]
+        assert rates[1] > 0.9
+
+
+class TestE6:
+    def test_success_with_moderate_faults(self):
+        table = run_e6(E6Options(n=64, alphas=(0.0, 0.4), gammas=(4.0,),
+                                 placements=("random",), trials=40,
+                                 parallel=False))
+        for rate in table.column("success rate"):
+            assert rate > 0.9
+
+
+@pytest.mark.slow
+class TestE7Smoke:
+    def test_no_profitable_strategy_at_toy_scale(self):
+        from repro.experiments.e7_equilibrium import E7Options, run as run_e7
+
+        table = run_e7(E7Options(
+            n=24, trials=30,
+            strategies=("silent", "underbid_alter", "griefing"),
+            coalition_sizes=(1,), parallel=False,
+        ))
+        for profitable in table.column("profitable?"):
+            assert not profitable

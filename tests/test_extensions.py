@@ -1,0 +1,122 @@
+"""Tests for the open-problem extensions (graphs, sequential gossip)."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.extensions.async_gossip import (
+    async_min_ticks,
+    run_async_leader_election,
+)
+from repro.extensions.topologies import run_graph_protocol
+from tests.conftest import two_color_split
+
+
+class TestGraphProtocol:
+    def test_complete_graph_matches_protocol_behaviour(self):
+        n = 32
+        g = nx.complete_graph(n)
+        res = run_graph_protocol(g, two_color_split(n, 0.5), gamma=3.0, seed=1)
+        assert res.outcome in {"red", "blue"}
+        assert res.zero_vote_agents == 0
+        assert not res.split
+
+    def test_dense_er_graph_succeeds(self):
+        n = 48
+        g = nx.gnp_random_graph(n, 0.5, seed=7)
+        for i in range(n):  # keep it connected
+            g.add_edge(i, (i + 1) % n)
+        res = run_graph_protocol(g, two_color_split(n, 0.5), gamma=3.0, seed=2)
+        assert res.outcome is not None
+
+    def test_ring_fails_termination(self):
+        # Find-Min needs diameter many rounds; a ring's diameter is n/2,
+        # far beyond the O(log n) schedule -> no consensus.
+        n = 48
+        g = nx.cycle_graph(n)
+        res = run_graph_protocol(g, two_color_split(n, 0.5), gamma=3.0, seed=3)
+        assert res.outcome is None
+
+    def test_node_labels_validated(self):
+        g = nx.complete_graph(5)
+        g.add_node(99)
+        with pytest.raises(ValueError, match="0..n-1"):
+            run_graph_protocol(g, ["a"] * 5, seed=0)
+
+    def test_isolated_vertex_rejected(self):
+        g = nx.empty_graph(4)
+        with pytest.raises(ValueError, match="no neighbours"):
+            run_graph_protocol(g, ["a"] * 4, seed=0)
+
+    def test_faulty_on_graph(self):
+        n = 32
+        g = nx.complete_graph(n)
+        res = run_graph_protocol(
+            g, two_color_split(n, 0.5), gamma=4.0, seed=4,
+            faulty=frozenset({0, 1, 2}),
+        )
+        assert 0 not in res.decisions
+
+
+class TestAsyncMin:
+    def test_converges(self):
+        values = [float(v) for v in (9, 4, 7, 1, 8, 6, 3, 5)]
+        ticks = async_min_ticks(values, seed=1)
+        # Must terminate well under the default budget.
+        assert ticks < 40 * 8 * (math.log2(8) + 1)
+
+    def test_ticks_scale_superlinearly(self):
+        t_small = async_min_ticks(list(range(32, 0, -1)), seed=2)
+        t_big = async_min_ticks(list(range(256, 0, -1)), seed=2)
+        assert t_big > t_small
+
+    def test_nlogn_shape(self):
+        # ticks / (n log n) should be roughly flat across sizes.
+        ratios = []
+        for n in (64, 256):
+            vals = list(range(n, 0, -1))
+            t = async_min_ticks([float(v) for v in vals], seed=3)
+            ratios.append(t / (n * math.log2(n)))
+        assert 0.3 < ratios[1] / ratios[0] < 3.0
+
+    def test_faulty_min_ignored(self):
+        values = [0.0] + [10.0 + i for i in range(15)]
+        ticks = async_min_ticks(values, seed=4, faulty=frozenset({0}))
+        # Converged to the active minimum, not the faulty 0.0 — implied
+        # by termination (the faulty value never spreads).
+        assert ticks < 40 * 16 * (math.log2(16) + 1)
+
+    def test_tiny_network_rejected(self):
+        with pytest.raises(ValueError):
+            async_min_ticks([1.0])
+
+
+class TestAsyncElection:
+    def test_converges_and_elects(self):
+        res = run_async_leader_election(two_color_split(32, 0.5), seed=5)
+        assert res.converged
+        assert res.outcome in {"red", "blue"}
+        assert res.winner is not None
+
+    def test_deterministic(self):
+        a = run_async_leader_election(two_color_split(32, 0.5), seed=6)
+        b = run_async_leader_election(two_color_split(32, 0.5), seed=6)
+        assert a == b
+
+    def test_faulty_cannot_win(self):
+        colors = two_color_split(32, 0.5)
+        faulty = frozenset(range(16))
+        res = run_async_leader_election(colors, seed=7, faulty=faulty)
+        if res.converged:
+            assert res.winner not in faulty
+            assert res.outcome == "blue"
+
+    def test_starved_budget_fails_gracefully(self):
+        res = run_async_leader_election(
+            two_color_split(64, 0.5), seed=8, tick_budget_factor=0.05
+        )
+        assert not res.converged
+        assert res.outcome is None

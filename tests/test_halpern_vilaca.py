@@ -1,0 +1,101 @@
+"""Tests for the Halpern–Vilaça-style LOCAL baseline."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.baselines.halpern_vilaca import run_halpern_vilaca
+from tests.conftest import two_color_split
+
+
+class TestCrashFree:
+    def test_everyone_counted(self):
+        colors = two_color_split(24, 0.5)
+        res = run_halpern_vilaca(colors, seed=1)
+        assert res.counted == tuple(range(24))
+        assert res.crashed == ()
+        assert res.outcome in {"red", "blue"}
+        assert colors[res.winner] == res.outcome
+
+    def test_quadratic_messages(self):
+        n = 30
+        res = run_halpern_vilaca(two_color_split(n, 0.5), seed=2)
+        assert res.messages == 2 * n * (n - 1)
+
+    def test_two_rounds(self):
+        res = run_halpern_vilaca(two_color_split(8, 0.5), seed=3)
+        assert res.rounds == 2
+
+    def test_deterministic(self):
+        colors = two_color_split(16, 0.5)
+        assert run_halpern_vilaca(colors, seed=4) == \
+            run_halpern_vilaca(colors, seed=4)
+
+    def test_fairness_shape(self):
+        colors = two_color_split(20, 0.7)
+        wins = Counter(
+            run_halpern_vilaca(colors, seed=s).outcome for s in range(300)
+        )
+        assert 0.6 < wins["red"] / 300 < 0.8
+
+
+class TestRandomCrashes:
+    def test_crashed_agents_not_counted(self):
+        colors = two_color_split(32, 0.5)
+        res = run_halpern_vilaca(colors, seed=5, crash_probability=0.3)
+        assert not (set(res.counted) & set(res.crashed))
+
+    def test_winner_among_counted(self):
+        for s in range(10):
+            res = run_halpern_vilaca(
+                two_color_split(24, 0.5), seed=s, crash_probability=0.4
+            )
+            if res.outcome is not None:
+                assert res.winner in res.counted
+
+    def test_partial_broadcasts_discarded_consistently(self):
+        """A value reaching only a prefix of receivers never decides the
+        outcome unless every survivor still heard it."""
+        for s in range(20):
+            res = run_halpern_vilaca(
+                two_color_split(16, 0.5), seed=s, crash_probability=0.5
+            )
+            for u in res.crashed:
+                assert u not in res.counted
+
+    def test_initially_faulty_excluded(self):
+        colors = two_color_split(20, 0.5)
+        res = run_halpern_vilaca(
+            colors, seed=6, initially_faulty=frozenset(range(5))
+        )
+        assert all(u >= 5 for u in res.counted)
+        assert res.winner >= 5
+
+    def test_heavy_crashes_may_fail(self):
+        # With extreme crash probability the counted set can be empty;
+        # the protocol then reports ⊥ rather than inventing a winner.
+        outcomes = [
+            run_halpern_vilaca(
+                two_color_split(8, 0.5), seed=s, crash_probability=0.9
+            ).outcome
+            for s in range(30)
+        ]
+        assert None in outcomes or len(set(outcomes)) >= 1  # well-defined
+
+
+class TestValidation:
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            run_halpern_vilaca(["x"])
+
+    def test_bad_probability(self):
+        with pytest.raises(ValueError):
+            run_halpern_vilaca(["a", "b"], crash_probability=1.0)
+
+    def test_all_faulty(self):
+        with pytest.raises(ValueError):
+            run_halpern_vilaca(
+                ["a", "b"], initially_faulty=frozenset({0, 1})
+            )

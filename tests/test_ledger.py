@@ -1,0 +1,83 @@
+"""Tests for the Commitment-phase ledger."""
+
+from __future__ import annotations
+
+from repro.core.ledger import Ledger
+from repro.core.votes import PlannedVote, VoteIntention
+
+
+def intent(*pairs: tuple[int, int]) -> VoteIntention:
+    return VoteIntention(tuple(PlannedVote(v, t) for v, t in pairs))
+
+
+class TestRecording:
+    def test_unknown_voter(self):
+        ledger = Ledger()
+        assert not ledger.knows(3)
+        assert ledger.record_for(3) is None
+
+    def test_single_version(self):
+        ledger = Ledger()
+        h = intent((1, 2))
+        ledger.record_intention(5, h, rnd=0)
+        rec = ledger.record_for(5)
+        assert rec is not None
+        assert rec.versions == [h]
+        assert not rec.marked_faulty
+
+    def test_duplicate_declaration_not_duplicated(self):
+        ledger = Ledger()
+        h = intent((1, 2))
+        ledger.record_intention(5, h, rnd=0)
+        ledger.record_intention(5, h, rnd=3)
+        assert len(ledger.record_for(5).versions) == 1
+
+    def test_equivocation_keeps_both_versions(self):
+        ledger = Ledger()
+        ledger.record_intention(5, intent((1, 2)), rnd=0)
+        ledger.record_intention(5, intent((9, 2)), rnd=1)
+        assert ledger.is_equivocator(5)
+        assert len(ledger.record_for(5).versions) == 2
+
+    def test_first_round_tracked_per_version(self):
+        ledger = Ledger()
+        ledger.record_intention(5, intent((1, 2)), rnd=4)
+        ledger.record_intention(5, intent((9, 2)), rnd=7)
+        rec = ledger.record_for(5)
+        assert rec.first_round == {0: 4, 1: 7}
+
+    def test_faulty_marking(self):
+        ledger = Ledger()
+        ledger.record_faulty(8)
+        assert ledger.knows(8)
+        assert ledger.record_for(8).marked_faulty
+        assert ledger.num_faulty_marked() == 1
+
+    def test_faulty_and_declared_can_coexist(self):
+        # A deviant might reply once then stay silent: both facts recorded.
+        ledger = Ledger()
+        ledger.record_intention(5, intent((1, 2)), rnd=0)
+        ledger.record_faulty(5)
+        rec = ledger.record_for(5)
+        assert rec.marked_faulty and len(rec.versions) == 1
+
+
+class TestQueries:
+    def test_voters_sorted(self):
+        ledger = Ledger()
+        ledger.record_faulty(9)
+        ledger.record_intention(2, intent((1, 3)), rnd=0)
+        ledger.record_intention(7, intent((1, 3)), rnd=0)
+        assert ledger.voters() == [2, 7, 9]
+
+    def test_num_declared_excludes_faulty_only_records(self):
+        ledger = Ledger()
+        ledger.record_faulty(9)
+        ledger.record_intention(2, intent((1, 3)), rnd=0)
+        assert ledger.num_declared() == 1
+
+    def test_is_equivocator_false_for_single_or_unknown(self):
+        ledger = Ledger()
+        assert not ledger.is_equivocator(1)
+        ledger.record_intention(1, intent((1, 3)), rnd=0)
+        assert not ledger.is_equivocator(1)

@@ -1,0 +1,145 @@
+"""Model-conformance tests: the simulation obeys the GOSSIP model.
+
+These white-box tests replay full protocol runs with tracing enabled and
+check, from the trace alone, that every agent — honest, faulty and
+deviating — stayed within the paper's communication model, and that the
+protocol used each phase exactly as Algorithm 1 prescribes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+import pytest
+
+from repro.agents.plans import plan
+from repro.core.agent import TOPIC_CERTIFICATE, TOPIC_INTENTION
+from repro.core.params import Phase
+from repro.core.protocol import ProtocolConfig, run_protocol
+from tests.conftest import two_color_split
+
+
+def traced_run(n=32, gamma=2.0, seed=3, strategy=None, members=frozenset(),
+               faulty=frozenset()):
+    colors = two_color_split(n, 0.75)
+    deviation = plan(strategy, members) if strategy else None
+    cfg = ProtocolConfig(colors=colors, gamma=gamma, seed=seed,
+                         faulty=faulty, deviation=deviation,
+                         collect_trace=True)
+    res = run_protocol(cfg)
+    return res, res.extras["trace"], res.extras["params"]
+
+
+class TestOneActiveOperationPerRound:
+    @pytest.mark.parametrize("strategy,members", [
+        (None, frozenset()),
+        ("underbid_alter", frozenset({0})),
+        ("pooled", frozenset({0, 1})),
+        ("griefing", frozenset({0})),
+    ])
+    def test_no_agent_initiates_twice_in_a_round(self, strategy, members):
+        _res, trace, _params = traced_run(strategy=strategy, members=members)
+        initiated: Counter = Counter()
+        for e in trace:
+            if e.kind == "push":
+                initiated[(e.rnd, e.src)] += 1
+            elif e.kind == "pull_request":
+                initiated[(e.rnd, e.src)] += 1
+        assert all(v == 1 for v in initiated.values())
+
+    def test_faulty_agents_never_initiate(self):
+        faulty = frozenset({1, 5, 9})
+        _res, trace, _params = traced_run(faulty=faulty, gamma=3.0)
+        initiators = {e.src for e in trace
+                      if e.kind in ("push", "pull_request")}
+        assert not (initiators & faulty)
+
+    def test_faulty_agents_never_reply(self):
+        faulty = frozenset({1, 5, 9})
+        _res, trace, _params = traced_run(faulty=faulty, gamma=3.0)
+        repliers = {e.src for e in trace if e.kind == "pull_reply"}
+        assert not (repliers & faulty)
+
+
+class TestPhaseDiscipline:
+    def test_honest_phase_traffic_shapes(self):
+        """Pulls in Commitment/Find-Min, pushes in Voting/Coherence."""
+        _res, trace, params = traced_run()
+        for e in trace:
+            if e.kind not in ("push", "pull_request"):
+                continue
+            phase, _ = params.phase_of(e.rnd)
+            if e.kind == "pull_request":
+                assert phase in (Phase.COMMITMENT, Phase.FIND_MIN), e
+                expected_topic = (TOPIC_INTENTION
+                                  if phase is Phase.COMMITMENT
+                                  else TOPIC_CERTIFICATE)
+                assert e.detail == expected_topic
+            else:
+                assert phase in (Phase.VOTING, Phase.COHERENCE), e
+
+    def test_every_honest_agent_acts_every_round(self):
+        n = 32
+        res, trace, params = traced_run(n=n)
+        per_round = defaultdict(set)
+        for e in trace:
+            if e.kind in ("push", "pull_request"):
+                per_round[e.rnd].add(e.src)
+        for rnd in range(params.total_rounds):
+            assert per_round[rnd] == set(range(n)), f"round {rnd}"
+        assert res.succeeded
+
+    def test_vote_pushes_match_intentions(self):
+        """Every Voting push by an honest agent equals the declared slot."""
+        res, trace, params = traced_run()
+        nodes = res.extras["nodes"]
+        for e in trace.of_kind("push"):
+            phase, idx = params.phase_of(e.rnd)
+            if phase is not Phase.VOTING:
+                continue
+            agent = nodes[e.src]
+            planned = agent.intention[idx]
+            assert e.dst == planned.target
+            assert e.detail.value == planned.value
+
+
+class TestSecureChannels:
+    def test_all_commitment_replies_carry_true_intention(self):
+        """What u stores about v is exactly what v's node object holds —
+        labels cannot be spoofed, so ledgers are trustworthy."""
+        res, trace, params = traced_run()
+        nodes = res.extras["nodes"]
+        for e in trace.of_kind("pull_reply"):
+            phase, _ = params.phase_of(e.rnd)
+            if phase is not Phase.COMMITMENT:
+                continue
+            # e.src answered e.dst: the payload must be src's intention.
+            assert e.detail.intention == nodes[e.src].intention
+
+    def test_message_conservation(self):
+        """Metrics agree with the trace event counts."""
+        res, trace, _params = traced_run()
+        m = res.metrics
+        assert m.pushes == len(trace.of_kind("push"))
+        assert m.pull_requests == len(trace.of_kind("pull_request"))
+        assert m.pull_replies == len(trace.of_kind("pull_reply"))
+
+
+class TestDeviantsAreModelBound:
+    """Even attackers cannot exceed the model's communication budget."""
+
+    @pytest.mark.parametrize("strategy", [
+        "underbid_alter", "equivocate", "vote_switch", "pooled",
+        "griefing", "pretend_faulty", "findmin_suppress",
+    ])
+    def test_deviant_message_budget(self, strategy):
+        res, trace, params = traced_run(strategy=strategy,
+                                        members=frozenset({0, 1}))
+        ops = Counter()
+        for e in trace:
+            if e.kind in ("push", "pull_request") and e.src in (0, 1):
+                ops[(e.rnd, e.src)] += 1
+        # At most one active op per member per round.
+        assert all(v == 1 for v in ops.values())
+        # And never more total rounds than the schedule.
+        assert not ops or max(rnd for rnd, _ in ops) < params.total_rounds

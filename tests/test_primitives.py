@@ -1,0 +1,90 @@
+"""Tests for the classic gossip primitives (known convergence behaviour)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.gossip.primitives import (
+    rounds_until_spread,
+    run_min_aggregation,
+    run_pull_broadcast,
+    run_push_rumor,
+)
+
+
+class TestPushRumor:
+    def test_spreads_to_everyone(self):
+        n = 64
+        rounds = 4 * int(math.log2(n)) + 8
+        informed = run_push_rumor(n, rounds, seed=1)
+        assert all(informed)
+
+    def test_does_not_spread_without_source_rounds(self):
+        informed = run_push_rumor(16, 0, seed=1)
+        assert sum(informed) == 1
+
+    def test_faulty_nodes_stay_uninformed(self):
+        n = 32
+        faulty = frozenset({5, 9})
+        informed = run_push_rumor(n, 40, seed=2, faulty=faulty)
+        assert not informed[5] and not informed[9]
+        assert all(informed[i] for i in range(n) if i not in faulty)
+
+
+class TestPullBroadcast:
+    def test_spreads_to_everyone(self):
+        n = 64
+        rounds = 4 * int(math.log2(n)) + 8
+        informed = run_pull_broadcast(n, rounds, seed=3)
+        assert all(informed)
+
+    def test_tolerates_linear_faults(self):
+        # Lemma 3.3: pull-broadcast still completes with alpha*n faults,
+        # given slightly more rounds.
+        n = 64
+        faulty = frozenset(range(1, n, 3))  # ~n/3 faulty
+        rounds = 8 * int(math.log2(n)) + 16
+        informed = run_pull_broadcast(n, rounds, seed=4, faulty=faulty)
+        assert all(informed[i] for i in range(n) if i not in faulty)
+
+
+class TestRoundsUntilSpread:
+    @pytest.mark.parametrize("mechanism", ["pull", "push"])
+    def test_logarithmic_scaling(self, mechanism):
+        """Spreading time grows like log n: measure at two sizes."""
+        r_small = rounds_until_spread(32, seed=5, mechanism=mechanism)
+        r_big = rounds_until_spread(256, seed=5, mechanism=mechanism)
+        # log2(256)/log2(32) = 1.6; allow generous slack but require that
+        # 8x more nodes costs far less than 8x more rounds.
+        assert r_big < 4 * r_small
+        assert r_small >= int(math.log2(32))  # can at best double per round
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(ValueError):
+            rounds_until_spread(8, mechanism="smoke-signals")
+
+
+class TestMinAggregation:
+    def test_converges_to_global_min(self):
+        values = [50, 3, 99, 17, 42, 8, 77, 23] * 4  # n = 32
+        rounds = 6 * int(math.log2(len(values))) + 10
+        finals = run_min_aggregation(values, rounds, seed=6)
+        assert all(v == 3 for v in finals)
+
+    def test_faulty_min_never_surfaces(self):
+        # The minimum value sits on a faulty node; active nodes must
+        # converge to the minimum among ACTIVE nodes instead.
+        values = [0 if i == 4 else 100 + i for i in range(16)]
+        faulty = frozenset({4})
+        finals = run_min_aggregation(values, 60, seed=7, faulty=faulty)
+        active_min = min(v for i, v in enumerate(values) if i != 4)
+        assert all(
+            finals[i] == active_min for i in range(16) if i not in faulty
+        )
+
+    def test_zero_rounds_keeps_initial_values(self):
+        values = [5, 1, 9]
+        finals = run_min_aggregation(values, 0, seed=8)
+        assert finals == values

@@ -1,0 +1,103 @@
+"""Property-based tests of the full protocol (hypothesis).
+
+Random small configurations — sizes, splits, fault sets, seeds — must
+always satisfy the protocol's structural invariants, whatever the random
+draws do.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocol import ProtocolConfig, run_protocol
+from repro.fastpath.simulate import simulate_protocol_fast
+
+
+@st.composite
+def configurations(draw):
+    n = draw(st.integers(min_value=8, max_value=40))
+    reds = draw(st.integers(min_value=0, max_value=n))
+    colors = ["red"] * reds + ["blue"] * (n - reds)
+    max_faults = max(0, n - 2)
+    n_faults = draw(st.integers(min_value=0, max_value=min(max_faults, n // 3)))
+    faulty = frozenset(draw(st.permutations(range(n)))[:n_faults])
+    seed = draw(st.integers(min_value=0, max_value=10 ** 9))
+    return colors, faulty, seed
+
+
+class TestAgentEngineInvariants:
+    @given(configurations())
+    @settings(max_examples=25, deadline=None)
+    def test_invariants(self, config):
+        colors, faulty, seed = config
+        res = run_protocol(ProtocolConfig(
+            colors=colors, gamma=3.0, faulty=faulty, seed=seed
+        ))
+        n = len(colors)
+        # Outcome is a supported color or ⊥.
+        assert res.outcome is None or res.outcome in set(colors)
+        # Decisions exist exactly for the active agents.
+        assert set(res.decisions) == set(range(n)) - faulty
+        if res.succeeded:
+            # Consensus: one color, everyone has it, winner active and
+            # supporting it.
+            assert set(res.decisions.values()) == {res.outcome}
+            assert res.winner is not None and res.winner not in faulty
+            assert colors[res.winner] == res.outcome
+            assert res.failed_agents == ()
+        else:
+            # Failure is always attributable.
+            assert res.failed_agents or \
+                len(set(res.decisions.values())) > 1
+        # Communication budget: at most one active op per agent-round,
+        # each generating at most 2 messages (pull + reply).
+        active = n - len(faulty)
+        assert res.metrics.total_messages <= 2 * active * res.rounds
+        # The schedule is fixed.
+        assert res.rounds == res.extras["params"].total_rounds
+
+    @given(st.integers(min_value=0, max_value=10 ** 9))
+    @settings(max_examples=10, deadline=None)
+    def test_seed_determinism(self, seed):
+        colors = ["red"] * 10 + ["blue"] * 6
+        a = run_protocol(ProtocolConfig(colors=colors, gamma=2.0, seed=seed))
+        b = run_protocol(ProtocolConfig(colors=colors, gamma=2.0, seed=seed))
+        assert a.outcome == b.outcome
+        assert a.winner == b.winner
+        assert a.metrics.total_bits == b.metrics.total_bits
+        assert a.good == b.good
+
+
+class TestEnginesAgreeOnInvariants:
+    @given(configurations())
+    @settings(max_examples=25, deadline=None)
+    def test_fastpath_same_invariants(self, config):
+        colors, faulty, seed = config
+        res = simulate_protocol_fast(colors, gamma=3.0, faulty=faulty,
+                                     seed=seed)
+        assert res.outcome is None or res.outcome in set(colors)
+        if res.succeeded:
+            assert res.winner not in faulty
+            assert colors[res.winner] == res.outcome
+        assert res.n_active == len(colors) - len(faulty)
+        assert res.min_votes <= res.max_votes
+
+    @given(configurations())
+    @settings(max_examples=15, deadline=None)
+    def test_message_counts_identical_across_engines(self, config):
+        colors, faulty, seed = config
+        agent = run_protocol(ProtocolConfig(
+            colors=colors, gamma=2.0, faulty=faulty, seed=seed
+        ))
+        fast = simulate_protocol_fast(colors, gamma=2.0, faulty=faulty,
+                                      seed=seed)
+        # The count of messages is a deterministic function of which
+        # pulls hit faulty agents; both engines sample uniformly, so the
+        # counts agree exactly only in the fault-free case.
+        if not faulty:
+            assert agent.metrics.total_messages == fast.total_messages
+        else:
+            # With faults, counts differ only through reply hit rates:
+            # same order of magnitude, same request counts.
+            assert 0.5 < agent.metrics.total_messages / fast.total_messages < 2

@@ -1,0 +1,71 @@
+"""The public API surface: what README promises must import and work."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+
+class TestTopLevelExports:
+    def test_all_names_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_readme_quickstart_runs(self):
+        from repro import ProtocolConfig, run_protocol
+
+        colors = ["red"] * 60 + ["blue"] * 40
+        result = run_protocol(ProtocolConfig(colors=colors, seed=7))
+        assert result.outcome in {"red", "blue"}
+        assert result.metrics.total_messages > 0
+
+    def test_version_present(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+
+class TestSubpackagesImportClean:
+    @pytest.mark.parametrize("module", [
+        "repro.gossip", "repro.gossip.primitives",
+        "repro.core", "repro.agents", "repro.adversary",
+        "repro.baselines", "repro.fastpath", "repro.analysis",
+        "repro.analysis.theory", "repro.analysis.report",
+        "repro.experiments", "repro.experiments.workloads",
+        "repro.extensions", "repro.cli", "repro.util",
+    ])
+    def test_import(self, module):
+        mod = importlib.import_module(module)
+        assert mod is not None
+
+    @pytest.mark.parametrize("module", [
+        "repro.gossip", "repro.core", "repro.agents", "repro.adversary",
+        "repro.baselines", "repro.fastpath", "repro.analysis",
+        "repro.extensions", "repro.util",
+    ])
+    def test_package_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("module", [
+        "repro", "repro.gossip.engine", "repro.core.agent",
+        "repro.core.verification", "repro.agents.pooled",
+        "repro.fastpath.simulate", "repro.baselines.halpern_vilaca",
+    ])
+    def test_key_modules_documented(self, module):
+        mod = importlib.import_module(module)
+        assert mod.__doc__ and len(mod.__doc__) > 100
+
+    def test_public_classes_documented(self):
+        from repro.core.agent import HonestAgent
+        from repro.core.protocol import ProtocolConfig, run_protocol
+        from repro.gossip.engine import GossipEngine
+
+        for obj in (HonestAgent, ProtocolConfig, run_protocol, GossipEngine):
+            assert obj.__doc__

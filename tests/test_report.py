@@ -1,0 +1,67 @@
+"""Tests for terminal reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.report import distribution_bars, ratio_bar, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_values_monotone_blocks(self):
+        s = sparkline([1, 2, 4, 8])
+        assert len(s) == 4
+        assert s[0] == "▁" and s[-1] == "█"
+        assert list(s) == sorted(s)
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=50))
+    @settings(max_examples=40)
+    def test_property_length_preserved(self, values):
+        assert len(sparkline(values)) == len(values)
+
+
+class TestDistributionBars:
+    def test_renders_all_keys(self):
+        out = distribution_bars({"red": 0.75, "blue": 0.25})
+        assert "red" in out and "blue" in out
+        assert "0.750" in out and "0.250" in out
+
+    def test_bar_lengths_proportional(self):
+        out = distribution_bars({"a": 1.0, "b": 0.5}, width=10)
+        lines = {ln.split()[0]: ln.count("#") for ln in out.splitlines()}
+        assert lines["a"] == 10
+        assert lines["b"] == 5
+
+    def test_empty(self):
+        assert "empty" in distribution_bars({})
+
+
+class TestRatioBar:
+    def test_full_bar_at_reference(self):
+        out = ratio_bar(10, 10, width=8)
+        assert out.count("█") == 8
+        assert "·" not in out.split()[0]
+
+    def test_half_bar(self):
+        out = ratio_bar(5, 10, width=8)
+        assert out.count("█") == 4
+
+    def test_overflow_clamped(self):
+        out = ratio_bar(100, 10, width=8)
+        assert out.count("█") == 8
+
+    def test_label_prefix(self):
+        assert ratio_bar(1, 2, label="measured").startswith("measured ")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ratio_bar(1, 0)

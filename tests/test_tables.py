@@ -1,0 +1,59 @@
+"""Tests for the plain-text table renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.tables import Table
+
+
+class TestTable:
+    def test_render_contains_headers_and_cells(self):
+        t = Table(headers=["n", "rounds"], title="Rounds")
+        t.add_row(64, 48)
+        out = t.render()
+        assert "Rounds" in out
+        assert "n" in out and "rounds" in out
+        assert "64" in out and "48" in out
+
+    def test_row_width_checked(self):
+        t = Table(headers=["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_float_formatting(self):
+        t = Table(headers=["x"], floatfmt=".2f")
+        t.add_row(3.14159)
+        assert "3.14" in t.render()
+        assert "3.14159" not in t.render()
+
+    def test_none_renders_dash(self):
+        t = Table(headers=["x"])
+        t.add_row(None)
+        assert t.render().splitlines()[-1].strip() == "-"
+
+    def test_bool_renders_yes_no(self):
+        t = Table(headers=["ok"])
+        t.add_row(True)
+        t.add_row(False)
+        lines = t.render().splitlines()
+        assert lines[-2].strip() == "yes"
+        assert lines[-1].strip() == "no"
+
+    def test_column_extraction(self):
+        t = Table(headers=["n", "v"])
+        t.extend([(1, 10), (2, 20)])
+        assert t.column("v") == [10, 20]
+
+    def test_unknown_column(self):
+        t = Table(headers=["n"])
+        with pytest.raises(KeyError):
+            t.column("missing")
+
+    def test_alignment_is_consistent(self):
+        t = Table(headers=["name", "value"])
+        t.add_row("a", 1)
+        t.add_row("bbbb", 1000)
+        lines = t.render().splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines padded to the same width

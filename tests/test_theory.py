@@ -1,0 +1,140 @@
+"""The paper's closed-form quantities against exact/simulated values.
+
+These tests pin the *analysis* of the paper to the *behaviour* of the
+simulator: Lemma 8's Chernoff bounds must actually bound the binomial
+tails, and the first-order predictions must match Monte-Carlo
+measurements of the corresponding events.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.analysis.theory import (
+    chernoff_additive,
+    chernoff_upper,
+    exposure_miss_probability,
+    expected_votes_per_agent,
+    findmin_expected_rounds,
+    k_collision_probability,
+)
+from repro.experiments.workloads import balanced
+from repro.fastpath.simulate import simulate_protocol_fast
+
+
+class TestChernoffBoundsAreBounds:
+    """Lemma 8 claims must upper-bound the exact binomial tails."""
+
+    @given(st.integers(min_value=10, max_value=2000),
+           st.floats(min_value=0.05, max_value=0.95),
+           st.floats(min_value=0.1, max_value=4.0))
+    @settings(max_examples=60, deadline=None)
+    def test_multiplicative_bound_holds(self, n, p, delta):
+        mu = n * p
+        threshold = (1 + delta) * mu
+        if threshold >= n:  # the tail is empty; bound trivially holds
+            return
+        exact_tail = float(scipy_stats.binom.sf(threshold, n, p))
+        assert exact_tail <= chernoff_upper(mu, delta) + 1e-12
+
+    @given(st.integers(min_value=10, max_value=2000),
+           st.floats(min_value=0.05, max_value=0.5),
+           st.floats(min_value=4.5, max_value=8.0))
+    @settings(max_examples=30, deadline=None)
+    def test_large_delta_branch_holds(self, n, p, delta):
+        mu = n * p
+        threshold = (1 + delta) * mu
+        if threshold >= n:
+            return
+        exact_tail = float(scipy_stats.binom.sf(threshold, n, p))
+        assert exact_tail <= chernoff_upper(mu, delta) + 1e-12
+
+    @given(st.integers(min_value=10, max_value=2000),
+           st.floats(min_value=0.05, max_value=0.95),
+           st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=60, deadline=None)
+    def test_additive_bound_holds(self, n, p, lam):
+        mu = n * p
+        exact_tail = float(scipy_stats.binom.sf(mu + lam, n, p))
+        assert exact_tail <= chernoff_additive(mu, lam, n) + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chernoff_upper(-1, 1)
+        with pytest.raises(ValueError):
+            chernoff_upper(1, 0)
+        with pytest.raises(ValueError):
+            chernoff_additive(1, -1, 10)
+
+
+class TestPredictionsMatchSimulation:
+    def test_expected_votes(self):
+        n, gamma, trials = 256, 3.0, 40
+        from repro.core.params import ProtocolParams
+        params = ProtocolParams(n=n, gamma=gamma)
+        predicted = expected_votes_per_agent(n, params.q, n)
+        measured = []
+        for s in range(trials):
+            res = simulate_protocol_fast(balanced(n), gamma=gamma, seed=s)
+            measured.append((res.min_votes + res.max_votes) / 2)
+        # min/max midpoint is a crude proxy; the real check is the mean
+        # sits between the measured extremes.
+        assert min(measured) * 0.3 < predicted < max(measured) * 3
+        assert predicted == pytest.approx(params.q * (n - 1) / (n - 1))
+
+    def test_collision_rate(self):
+        # At n=64 the birthday rate is ~ 1/(2*64) ~ 0.78%; measure it.
+        n, trials = 64, 1500
+        predicted = k_collision_probability(n, n ** 3)
+        hits = sum(
+            simulate_protocol_fast(balanced(n), gamma=1.0, seed=s).k_collision
+            for s in range(trials)
+        )
+        measured = hits / trials
+        assert predicted == pytest.approx(1 / (2 * n), rel=0.05)
+        # 3-sigma binomial band around the prediction.
+        sigma = math.sqrt(predicted * (1 - predicted) / trials)
+        assert abs(measured - predicted) < 4 * sigma + 1e-9
+
+    def test_exposure_miss_probability_matches_formula(self):
+        # Direct formula check plus the asymptotic shape e^{-q a / n}.
+        p = exposure_miss_probability(100, 10, 90)
+        assert p == pytest.approx((1 - 1 / 99) ** 900)
+        assert p == pytest.approx(math.exp(-900 / 99), rel=0.06)
+
+    def test_findmin_recurrence_tracks_simulation(self):
+        n, gamma = 512, 3.0
+        from repro.core.params import ProtocolParams
+        params = ProtocolParams(n=n, gamma=gamma)
+        predicted = findmin_expected_rounds(n, n)
+        measured = [
+            simulate_protocol_fast(balanced(n), gamma=gamma, seed=s)
+            .find_min_rounds
+            for s in range(30)
+        ]
+        mean = sum(measured) / len(measured)
+        # Mean-field vs stochastic: same ballpark (within ~45%),
+        # and both far below the q-round budget.
+        assert predicted < params.q
+        assert abs(mean - predicted) / predicted < 0.45
+
+    def test_findmin_slows_with_faults(self):
+        # The recurrence predicts the gamma(alpha) effect qualitatively.
+        clean = findmin_expected_rounds(256, 256)
+        faulty = findmin_expected_rounds(64, 256)  # 75% faults
+        assert faulty > clean
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_votes_per_agent(1, 1, 1)
+        with pytest.raises(ValueError):
+            k_collision_probability(0, 10)
+        with pytest.raises(ValueError):
+            exposure_miss_probability(1, 1, 1)
+        with pytest.raises(ValueError):
+            findmin_expected_rounds(10, 5)

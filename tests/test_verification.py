@@ -1,0 +1,170 @@
+"""Tests for the Verification phase — each attack signature is detected.
+
+These are the unit-level counterparts of the equilibrium experiments:
+every rule in ``verify_certificate`` exists to catch a specific deviation
+from Algorithm 1, so each test crafts that deviation by hand.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.certificate import Certificate, ReceivedVote
+from repro.core.ledger import Ledger
+from repro.core.params import ProtocolParams
+from repro.core.verification import VerificationCode, verify_certificate
+from repro.core.votes import PlannedVote, VoteIntention
+
+
+@pytest.fixture
+def params() -> ProtocolParams:
+    return ProtocolParams(n=16, gamma=1.0)  # q = 4
+
+
+def intention_voting(value: int, target: int, at_round: int,
+                     params: ProtocolParams) -> VoteIntention:
+    """An intention that votes (value -> target) at ``at_round`` and
+    harmless votes elsewhere (targets nobody we care about)."""
+    votes = []
+    for j in range(params.q):
+        if j == at_round:
+            votes.append(PlannedVote(value, target))
+        else:
+            other = 15 if target != 15 else 14
+            votes.append(PlannedVote(0, other))
+    return VoteIntention(tuple(votes))
+
+
+class TestHonestCertificates:
+    def test_empty_ledger_accepts_consistent_certificate(self, params):
+        cert = Certificate.build(
+            [ReceivedVote(3, 0, 100), ReceivedVote(4, 1, 200)], "red", 7, params.m
+        )
+        assert verify_certificate(cert, Ledger(), params).ok
+
+    def test_matching_declaration_accepted(self, params):
+        ledger = Ledger()
+        ledger.record_intention(3, intention_voting(100, 7, 0, params), rnd=0)
+        cert = Certificate.build([ReceivedVote(3, 0, 100)], "red", 7, params.m)
+        assert verify_certificate(cert, ledger, params).ok
+
+    def test_faulty_marked_voter_with_no_votes_is_fine(self, params):
+        ledger = Ledger()
+        ledger.record_faulty(9)
+        cert = Certificate.build([ReceivedVote(3, 0, 5)], "red", 7, params.m)
+        assert verify_certificate(cert, ledger, params).ok
+
+
+class TestWellFormedness:
+    def test_vote_value_outside_domain(self, params):
+        cert = Certificate(0, (ReceivedVote(3, 0, params.m),), "c", 7)
+        res = verify_certificate(cert, Ledger(), params)
+        assert res.code is VerificationCode.MALFORMED
+
+    def test_round_index_outside_phase(self, params):
+        cert = Certificate(5, (ReceivedVote(3, params.q, 5),), "c", 7)
+        assert verify_certificate(cert, Ledger(), params).code is \
+            VerificationCode.MALFORMED
+
+    def test_self_vote_rejected(self, params):
+        cert = Certificate(5, (ReceivedVote(7, 0, 5),), "c", 7)
+        assert verify_certificate(cert, Ledger(), params).code is \
+            VerificationCode.MALFORMED
+
+    def test_unknown_voter_label(self, params):
+        cert = Certificate(5, (ReceivedVote(99, 0, 5),), "c", 7)
+        assert verify_certificate(cert, Ledger(), params).code is \
+            VerificationCode.MALFORMED
+
+    def test_duplicate_round_votes_rejected(self, params):
+        # One push per round per agent: two round-0 votes from agent 3
+        # are physically impossible, hence a forgery.
+        votes = (ReceivedVote(3, 0, 5), ReceivedVote(3, 0, 9))
+        cert = Certificate(14, votes, "c", 7)
+        assert verify_certificate(cert, Ledger(), params).code is \
+            VerificationCode.DUPLICATE_VOTE
+
+
+class TestKCheck:
+    def test_underbid_k_detected(self, params):
+        votes = (ReceivedVote(3, 0, 100),)
+        cert = Certificate(0, votes, "c", 7)  # claims k=0, sum is 100
+        res = verify_certificate(cert, Ledger(), params)
+        assert res.code is VerificationCode.K_MISMATCH
+
+    def test_k_check_can_be_ablated(self, params):
+        votes = (ReceivedVote(3, 0, 100),)
+        cert = Certificate(0, votes, "c", 7)
+        res = verify_certificate(cert, Ledger(), params, check_k=False)
+        assert res.ok
+
+
+class TestLedgerConsistency:
+    def test_altered_vote_value_detected(self, params):
+        ledger = Ledger()
+        ledger.record_intention(3, intention_voting(100, 7, 0, params), rnd=0)
+        cert = Certificate.build([ReceivedVote(3, 0, 55)], "c", 7, params.m)
+        res = verify_certificate(cert, ledger, params)
+        assert res.code is VerificationCode.VOTE_ALTERED
+
+    def test_mistargeted_vote_detected(self, params):
+        # Agent 3 declared his round-0 vote for agent 12, but the
+        # certificate of owner 7 claims to have received it.
+        ledger = Ledger()
+        ledger.record_intention(3, intention_voting(100, 12, 0, params), rnd=0)
+        cert = Certificate.build([ReceivedVote(3, 0, 100)], "c", 7, params.m)
+        res = verify_certificate(cert, ledger, params)
+        assert res.code is VerificationCode.VOTE_MISTARGETED
+
+    def test_omitted_vote_detected(self, params):
+        # Agent 3 declared a vote for owner 7 that the certificate lacks.
+        ledger = Ledger()
+        ledger.record_intention(3, intention_voting(100, 7, 0, params), rnd=0)
+        cert = Certificate.build([ReceivedVote(4, 1, 9)], "c", 7, params.m)
+        res = verify_certificate(cert, ledger, params)
+        assert res.code is VerificationCode.VOTE_OMITTED
+
+    def test_omission_check_can_be_ablated(self, params):
+        ledger = Ledger()
+        ledger.record_intention(3, intention_voting(100, 7, 0, params), rnd=0)
+        cert = Certificate.build([ReceivedVote(4, 1, 9)], "c", 7, params.m)
+        res = verify_certificate(cert, ledger, params, check_omissions=False)
+        assert res.ok
+
+    def test_vote_from_faulty_marked_agent_detected(self, params):
+        # Pretend-faulty attack: agent 3 ignored our Commitment pull but
+        # then voted; footnote 4 treats his votes as zero.
+        ledger = Ledger()
+        ledger.record_faulty(3)
+        cert = Certificate.build([ReceivedVote(3, 0, 5)], "c", 7, params.m)
+        res = verify_certificate(cert, ledger, params)
+        assert res.code is VerificationCode.VOTE_FROM_FAULTY
+
+    def test_equivocation_detected_via_either_version(self, params):
+        # Two declared versions: the certificate matches version A, but
+        # version B disagrees -> inconsistent (a set-union ledger can
+        # never be satisfied by an equivocator whose votes matter).
+        ledger = Ledger()
+        ledger.record_intention(3, intention_voting(100, 7, 0, params), rnd=0)
+        ledger.record_intention(3, intention_voting(200, 7, 0, params), rnd=2)
+        cert = Certificate.build([ReceivedVote(3, 0, 100)], "c", 7, params.m)
+        res = verify_certificate(cert, ledger, params)
+        assert not res.ok
+        assert res.code in (
+            VerificationCode.VOTE_ALTERED, VerificationCode.VOTE_OMITTED
+        )
+
+    def test_ledger_check_can_be_ablated(self, params):
+        ledger = Ledger()
+        ledger.record_intention(3, intention_voting(100, 7, 0, params), rnd=0)
+        cert = Certificate.build([ReceivedVote(3, 0, 55)], "c", 7, params.m)
+        res = verify_certificate(cert, ledger, params, check_ledger=False)
+        assert res.ok
+
+    def test_irrelevant_declarations_ignored(self, params):
+        # Ledger knows a voter whose declared votes all target others:
+        # certificate without his votes is fine.
+        ledger = Ledger()
+        ledger.record_intention(3, intention_voting(100, 12, 0, params), rnd=0)
+        cert = Certificate.build([ReceivedVote(4, 1, 9)], "c", 7, params.m)
+        assert verify_certificate(cert, ledger, params).ok

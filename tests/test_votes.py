@@ -1,0 +1,90 @@
+"""Tests for vote intentions and their payloads."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import ProtocolParams
+from repro.core.votes import (
+    IntentionPayload,
+    PlannedVote,
+    VoteIntention,
+    generate_intention,
+)
+from repro.util.rng import SeedTree
+
+
+class TestGeneration:
+    def test_length_is_q(self):
+        p = ProtocolParams(n=32, gamma=2.0)
+        rng = SeedTree(1).generator()
+        h = generate_intention(p, rng, self_id=0)
+        assert len(h) == p.q
+
+    def test_values_in_domain(self):
+        p = ProtocolParams(n=16, gamma=3.0)
+        rng = SeedTree(2).generator()
+        h = generate_intention(p, rng, self_id=3)
+        assert all(0 <= pv.value < p.m for pv in h)
+
+    def test_targets_never_self(self):
+        p = ProtocolParams(n=8, gamma=4.0)
+        for self_id in range(8):
+            rng = SeedTree(3).child(self_id).generator()
+            h = generate_intention(p, rng, self_id=self_id)
+            assert all(pv.target != self_id for pv in h)
+            assert all(0 <= pv.target < p.n for pv in h)
+
+    def test_deterministic_given_stream(self):
+        p = ProtocolParams(n=32, gamma=2.0)
+        h1 = generate_intention(p, SeedTree(5).generator(), 0)
+        h2 = generate_intention(p, SeedTree(5).generator(), 0)
+        assert h1 == h2
+
+    @given(st.integers(min_value=2, max_value=128),
+           st.integers(min_value=0, max_value=127),
+           st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=50)
+    def test_property_valid_for_any_agent(self, n, self_id, seed):
+        self_id %= n
+        p = ProtocolParams(n=n, gamma=1.0)
+        h = generate_intention(p, SeedTree(seed).generator(), self_id)
+        assert len(h) == p.q
+        for pv in h:
+            assert 0 <= pv.value < p.m
+            assert 0 <= pv.target < n and pv.target != self_id
+
+    def test_target_distribution_covers_network(self):
+        # With q*many draws every label should get some votes.
+        p = ProtocolParams(n=8, gamma=8.0)
+        hits = set()
+        for i in range(p.n):
+            h = generate_intention(p, SeedTree(7).child(i).generator(), i)
+            hits.update(pv.target for pv in h)
+        assert hits == set(range(p.n))
+
+
+class TestVotesFor:
+    def test_votes_for_returns_round_value_pairs(self):
+        h = VoteIntention((
+            PlannedVote(10, 2),
+            PlannedVote(20, 1),
+            PlannedVote(30, 2),
+        ))
+        assert h.votes_for(2) == [(0, 10), (2, 30)]
+        assert h.votes_for(1) == [(1, 20)]
+        assert h.votes_for(9) == []
+
+    def test_indexing_and_iteration(self):
+        h = VoteIntention((PlannedVote(1, 2), PlannedVote(3, 4)))
+        assert h[1] == PlannedVote(3, 4)
+        assert [pv.value for pv in h] == [1, 3]
+
+
+class TestPayloads:
+    def test_intention_payload_size(self):
+        p = ProtocolParams(n=16, gamma=2.0)
+        h = generate_intention(p, SeedTree(1).generator(), 0)
+        payload = IntentionPayload(h, p.intention_bits())
+        assert payload.size_bits() == p.q * (p.vote_bits + p.label_bits)
