@@ -42,7 +42,9 @@ def test_e5_good_executions(benchmark, emit):
     assert rows[(1024, 3.0)] >= rows[(64, 3.0)]
     assert rows[(1024, 3.0)] > 0.995
     # k-collisions follow the birthday bound n^2 / (2 m) = 1/(2n)
-    # (Lemma 3.2's w.h.p. distinctness): rare at n=64, gone at n=1024.
+    # (Lemma 3.2's w.h.p. distinctness): rare at n=64, almost gone at
+    # n=1024 (expected hits over 300 trials ~ 0.15, so allow the
+    # occasional one rather than pinning a specific random stream).
     for (n, _g), c in collisions.items():
         assert c / OPTS.trials < 4.0 / n
-    assert collisions[(1024, 3.0)] == 0
+    assert collisions[(1024, 3.0)] <= 2

@@ -1,0 +1,121 @@
+"""Perf benchmark: per-trial fastpath loop vs the trial-axis batch.
+
+Times ``simulate_protocol_fast`` looped over seeds against
+``simulate_protocol_fast_batch`` (both the default statistical mode and
+the bit-exact seed-parity mode) at several (n, trials) points, prints
+the comparison table, and archives the numbers to ``BENCH_fastpath.json``
+at the repo root so future PRs can track the perf trajectory.
+
+Runs standalone too:  ``PYTHONPATH=src python benchmarks/bench_fastpath_batch.py``
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.experiments.workloads import balanced
+from repro.fastpath.batch import simulate_protocol_fast_batch
+from repro.fastpath.simulate import simulate_protocol_fast
+from repro.util.tables import Table
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_fastpath.json"
+
+# (n, trials): the headline point is (512, 1000); the flanking points
+# show the speedup holding across the experiment suite's range.
+POINTS = ((128, 2000), (512, 1000), (2048, 200))
+GAMMA = 3.0
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure() -> dict:
+    points = []
+    for n, trials in POINTS:
+        colors = balanced(n)
+        seeds = list(range(trials))
+        warm = seeds[: min(16, trials)]
+        simulate_protocol_fast(colors, gamma=GAMMA, seed=0)
+        simulate_protocol_fast_batch(colors, warm, gamma=GAMMA)
+        simulate_protocol_fast_batch(colors, warm, gamma=GAMMA,
+                                     seed_parity=True)
+
+        per_trial = _best_of(2, lambda: [
+            simulate_protocol_fast(colors, gamma=GAMMA, seed=s)
+            for s in seeds
+        ])
+        batch = _best_of(3, lambda: simulate_protocol_fast_batch(
+            colors, seeds, gamma=GAMMA
+        ))
+        parity = _best_of(2, lambda: simulate_protocol_fast_batch(
+            colors, seeds, gamma=GAMMA, seed_parity=True
+        ))
+        points.append({
+            "n": n,
+            "trials": trials,
+            "per_trial_s": round(per_trial, 4),
+            "batch_s": round(batch, 4),
+            "batch_parity_s": round(parity, 4),
+            "speedup_batch": round(per_trial / batch, 1),
+            "speedup_parity": round(per_trial / parity, 2),
+        })
+    return {
+        "benchmark": "fastpath_batch",
+        "gamma": GAMMA,
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "points": points,
+    }
+
+
+def report(results: dict) -> Table:
+    table = Table(
+        headers=["n", "trials", "per-trial loop (s)", "batch (s)",
+                 "batch speedup", "parity batch (s)", "parity speedup"],
+        title="Fastpath: per-trial loop vs trial-axis batch",
+    )
+    for p in results["points"]:
+        table.add_row(
+            p["n"], p["trials"], p["per_trial_s"], p["batch_s"],
+            f'{p["speedup_batch"]}x', p["batch_parity_s"],
+            f'{p["speedup_parity"]}x',
+        )
+    return table
+
+
+def run() -> dict:
+    results = measure()
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def test_fastpath_batch_speedup(benchmark, emit):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fastpath_batch", report(results))
+    by_point = {(p["n"], p["trials"]): p for p in results["points"]}
+    headline = by_point[(512, 1000)]
+    # The acceptance bar: >= 10x at (n=512, trials=1000).  The batch
+    # engine typically clears it by a wide margin; keep some slack for
+    # noisy CI machines while still catching real regressions.
+    assert headline["speedup_batch"] >= 10.0
+    # Seed-parity mode must not be slower than the loop it replays.
+    assert headline["speedup_parity"] >= 0.9
+    assert RESULT_PATH.exists()
+
+
+if __name__ == "__main__":
+    out = run()
+    print(report(out).render())
+    print(f"\nwrote {RESULT_PATH}")

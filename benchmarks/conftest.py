@@ -1,9 +1,9 @@
 """Shared helpers for the benchmark suite.
 
-Every benchmark regenerates one experiment table (see DESIGN.md §4),
-prints it to the terminal (so ``pytest benchmarks/ --benchmark-only``
-output is the full results report) and archives it under ``results/``
-for EXPERIMENTS.md.
+Every benchmark regenerates one experiment table (the experiment ↔
+claim wiring is tabulated in DESIGN.md §4), prints it to the terminal
+(so ``pytest benchmarks/ --benchmark-only`` output is the full results
+report) and archives it under ``results/``.
 """
 
 from __future__ import annotations

@@ -12,7 +12,9 @@
 from repro.analysis.equilibrium import UtilityEstimate, estimate_utility, gain
 from repro.analysis.fairness import (
     chi_square_fairness,
+    chi_square_from_counts,
     empirical_distribution,
+    empirical_distribution_from_counts,
     expected_distribution,
     fail_rate,
     total_variation,
@@ -23,7 +25,9 @@ from repro.analysis.stats import mean_ci, wilson_interval
 __all__ = [
     "UtilityEstimate",
     "chi_square_fairness",
+    "chi_square_from_counts",
     "empirical_distribution",
+    "empirical_distribution_from_counts",
     "estimate_utility",
     "expected_distribution",
     "fail_rate",

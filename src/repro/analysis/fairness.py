@@ -8,6 +8,13 @@ a batch of run outcomes we measure:
 * its total-variation distance from the expected distribution,
 * a chi-square goodness-of-fit p-value (scipy) — "not rejected at 5%"
   is the reproduction criterion used in EXPERIMENTS.md.
+
+Two entry-point families feed the same measures: the original
+outcome-sequence functions, and count-based ones
+(``empirical_distribution_from_counts`` / ``chi_square_from_counts``)
+that consume the win tallies a :class:`repro.fastpath.FastBatchResult`
+produces with one ``bincount`` — so batched experiments never build
+per-trial Python objects on the hot path.
 """
 
 from __future__ import annotations
@@ -18,11 +25,13 @@ from typing import Hashable, Iterable, Mapping, Sequence
 from scipy import stats as _scipy_stats
 
 __all__ = [
-    "empirical_distribution",
-    "expected_distribution",
-    "total_variation",
     "chi_square_fairness",
+    "chi_square_from_counts",
+    "empirical_distribution",
+    "empirical_distribution_from_counts",
+    "expected_distribution",
     "fail_rate",
+    "total_variation",
 ]
 
 
@@ -45,12 +54,20 @@ def empirical_distribution(
     outcomes: Iterable[Hashable | None],
 ) -> dict[Hashable, float]:
     """Winning frequencies over *successful* runs (⊥ excluded)."""
-    wins = [o for o in outcomes if o is not None]
-    if not wins:
+    return empirical_distribution_from_counts(
+        Counter(o for o in outcomes if o is not None)
+    )
+
+
+def empirical_distribution_from_counts(
+    counts: Mapping[Hashable, int],
+) -> dict[Hashable, float]:
+    """Winning frequencies from per-color win tallies (e.g.
+    ``FastBatchResult.winning_counts()``)."""
+    total = sum(counts.values())
+    if total == 0:
         return {}
-    counts = Counter(wins)
-    total = len(wins)
-    return {c: counts[c] / total for c in counts}
+    return {c: k / total for c, k in counts.items() if k > 0}
 
 
 def fail_rate(outcomes: Sequence[Hashable | None]) -> float:
@@ -72,16 +89,25 @@ def chi_square_fairness(
     outcomes: Sequence[Hashable | None],
     expected: Mapping[Hashable, float],
 ) -> tuple[float, float]:
-    """Chi-square GoF of winning counts against expected fractions.
+    """Chi-square GoF of winning outcomes against expected fractions."""
+    return chi_square_from_counts(
+        Counter(o for o in outcomes if o is not None), expected
+    )
+
+
+def chi_square_from_counts(
+    counts: Mapping[Hashable, int],
+    expected: Mapping[Hashable, float],
+) -> tuple[float, float]:
+    """Chi-square GoF of per-color win tallies against expected fractions.
 
     Returns ``(statistic, p-value)``.  Colors with expected probability 0
     must not win (if one does, returns ``(inf, 0.0)``); categories are the
     support of ``expected``.
     """
-    wins = [o for o in outcomes if o is not None]
-    if not wins:
+    counts = {c: k for c, k in counts.items() if k > 0}
+    if not counts:
         raise ValueError("no successful runs to test")
-    counts = Counter(wins)
     unexpected = set(counts) - set(expected)
     if unexpected or any(
         counts.get(c, 0) > 0 and expected[c] == 0.0 for c in expected

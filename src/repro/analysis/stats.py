@@ -1,9 +1,16 @@
-"""Small statistics helpers (confidence intervals, summaries)."""
+"""Small statistics helpers (confidence intervals, summaries).
+
+``mean_ci`` accepts plain sequences and NumPy arrays alike, so batched
+experiment code can hand :class:`repro.fastpath.FastBatchResult` columns
+straight in without materialising Python lists.
+"""
 
 from __future__ import annotations
 
 import math
 from typing import Sequence
+
+import numpy as np
 
 __all__ = ["wilson_interval", "mean_ci"]
 
@@ -36,13 +43,16 @@ def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple[float
     return (min(lo, p), max(hi, p))
 
 
-def mean_ci(values: Sequence[float], z: float = 1.96) -> tuple[float, float]:
+def mean_ci(
+    values: Sequence[float] | np.ndarray, z: float = 1.96
+) -> tuple[float, float]:
     """(mean, half-width of the normal CI) of a sample."""
-    k = len(values)
+    arr = np.asarray(values, dtype=np.float64)
+    k = arr.size
     if k == 0:
         raise ValueError("empty sample")
-    mean = sum(values) / k
+    mean = float(arr.mean())
     if k == 1:
         return mean, float("inf")
-    var = sum((v - mean) ** 2 for v in values) / (k - 1)
+    var = float(arr.var(ddof=1))
     return mean, z * math.sqrt(var / k)

@@ -48,17 +48,29 @@ def expected_votes_per_agent(n: int, q: int, n_active: int) -> float:
     return (n_active - 1) * q / (n - 1)
 
 
-def k_collision_probability(n_active: int, m: int) -> float:
-    """First-order birthday bound: P[two of ``n_active`` uniform values
-    in [m] collide] ~ C(n_active, 2) / m.
+def k_collision_probability(
+    n_active: int, m: int, *, n: int | None = None, q: int | None = None
+) -> float:
+    """First-order collision probability among the active ``k_u``.
 
-    With the paper's ``m = n³`` this is ``~ 1/(2n)`` — vanishing, but
-    visible at small n (E5 measures it).
+    The birthday term is P[two of ``n_active`` uniform values in [m]
+    collide] ~ C(n_active, 2) / m; with the paper's ``m = n³`` this is
+    ``~ 1/(2n)`` — vanishing, but visible at small n (E5 measures it).
+
+    When ``n`` and ``q`` are given, the prediction also counts
+    *zero-vote pairs*: an agent that received no vote has ``k = 0``, so
+    two voteless agents collide deterministically.  Each agent is
+    voteless with probability ``(1 - 1/(n-1))^((n_active - 1) q)``; at
+    small ``q`` (γ = 1 sweeps) this term dominates the birthday one.
     """
     if n_active < 1 or m < 1:
         raise ValueError("need n_active >= 1 and m >= 1")
     pairs = n_active * (n_active - 1) / 2
-    return -math.expm1(-pairs / m)  # 1 - exp(-pairs/m), stable for tiny x
+    expected = pairs / m
+    if n is not None and q is not None:
+        p_voteless = (1.0 - 1.0 / (n - 1)) ** ((n_active - 1) * q)
+        expected += pairs * p_voteless ** 2
+    return -math.expm1(-expected)  # 1 - exp(-x), stable for tiny x
 
 
 def exposure_miss_probability(n: int, q: int, n_pullers: int) -> float:

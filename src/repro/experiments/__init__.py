@@ -21,6 +21,7 @@ E10          conclusions — other graphs; sequential GOSSIP
 """
 
 from repro.experiments import workloads
+from repro.experiments.dispatch import choose_engine, run_trials_fast
 from repro.experiments.runner import run_trials
 
-__all__ = ["run_trials", "workloads"]
+__all__ = ["choose_engine", "run_trials", "run_trials_fast", "workloads"]

@@ -1,0 +1,147 @@
+"""Routing Monte-Carlo trial batches to the right simulation tier.
+
+:func:`run_trials_fast` is the front door for every honest-run
+experiment: given one color configuration and a list of per-trial seeds
+it returns a :class:`repro.fastpath.batch.FastBatchResult` regardless of
+which engine did the work.  Engines, from fastest to highest fidelity:
+
+``batch``
+    The trial-axis batched fastpath (statistical mode) — the default
+    for Monte-Carlo tables.
+``batch-parity``
+    The batched fastpath in seed-parity mode: per-trial results are
+    bit-identical to ``simulate_protocol_fast`` for the same seeds.
+``process``
+    Per-trial ``simulate_protocol_fast`` fanned out over a process pool
+    (:func:`repro.experiments.runner.run_trials`).  Since the batched
+    fastpath landed this is the *fallback*, not the default — it is the
+    debugger-friendly tier and the cross-check for the batch engines.
+``agent``
+    The exact agent engine (``run_protocol``), for fidelity spot checks.
+    Two batch fields have no agent-engine counterpart and are reported
+    as ``-1`` sentinels: ``find_min_rounds`` and
+    ``min_commitment_pulls_received``.
+
+``engine="auto"`` picks ``batch``: the statistical engine's working set
+is bounded (fixed-size blocks of (block, n) arrays) for every n the
+int64 guards allow, so there is no workload where the per-trial
+fallbacks win — they exist as explicit opt-ins for verification and
+debugging.  See DESIGN.md §3 for the tier fidelity contract.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from repro.core.protocol import ProtocolConfig, run_protocol
+from repro.experiments.runner import run_trials
+from repro.fastpath.batch import (
+    FastBatchResult,
+    batch_from_runs,
+    simulate_protocol_fast_batch,
+)
+from repro.fastpath.simulate import FastRunResult, simulate_protocol_fast
+
+__all__ = ["choose_engine", "run_trials_fast"]
+
+_ENGINES = ("auto", "batch", "batch-parity", "process", "agent")
+
+
+def choose_engine(
+    n: int,
+    n_trials: int,
+    gamma: float = 3.0,
+    max_chunk_elements: int | None = None,
+) -> str:
+    """The ``auto`` routing policy, exposed for tests and callers.
+
+    Currently unconditional: the statistical batch engine dominates the
+    per-trial tiers on both wall-clock and peak memory at every
+    (n, trials) the guards admit (the process pool would multiply
+    per-run draw tensors by the worker count).  Kept as a function so
+    future policies (e.g. fidelity-driven routing) have one home.
+    """
+    return "batch"
+
+
+def _fast_worker(
+    args: tuple[tuple[Hashable, ...], float, frozenset[int], int]
+) -> FastRunResult:
+    colors, gamma, faulty, seed = args
+    return simulate_protocol_fast(colors, gamma=gamma, faulty=faulty,
+                                  seed=seed)
+
+
+def _agent_worker(
+    args: tuple[tuple[Hashable, ...], float, frozenset[int], int]
+) -> FastRunResult:
+    colors, gamma, faulty, seed = args
+    res = run_protocol(ProtocolConfig(
+        colors=list(colors), gamma=gamma, faulty=faulty, seed=seed,
+    ))
+    return FastRunResult(
+        n=res.n,
+        n_active=res.n - len(faulty),
+        outcome=res.outcome,
+        winner=res.winner,
+        rounds=res.rounds,
+        min_votes=res.good.min_votes,
+        max_votes=res.good.max_votes,
+        k_collision=res.good.k_collision,
+        find_min_agreement=res.good.find_min_agreement,
+        find_min_rounds=-1,                   # not observed by the engine
+        min_commitment_pulls_received=-1,     # not observed by the engine
+        total_messages=res.metrics.total_messages,
+        total_bits=res.metrics.total_bits,
+        max_message_bits=res.metrics.max_message_bits,
+    )
+
+
+def run_trials_fast(
+    colors: Sequence[Hashable],
+    seeds: Sequence[int],
+    *,
+    gamma: float = 3.0,
+    faulty: frozenset[int] | Iterable[frozenset[int]] | None = frozenset(),
+    engine: str = "auto",
+    parallel: bool = True,
+    max_workers: int | None = None,
+    max_chunk_elements: int | None = None,
+) -> FastBatchResult:
+    """Run one honest-run Monte-Carlo workload on the chosen engine.
+
+    ``parallel``/``max_workers`` only affect the per-trial engines
+    (``process``/``agent``); the batch engines are single-process by
+    design.  Results are deterministic in ``seeds`` on every engine.
+    """
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; known: {_ENGINES}")
+    colors = tuple(colors)
+    seeds = [int(s) for s in seeds]
+    if engine == "auto":
+        engine = choose_engine(
+            len(colors), len(seeds), gamma, max_chunk_elements
+        )
+    if engine in ("batch", "batch-parity"):
+        return simulate_protocol_fast_batch(
+            colors, seeds, gamma=gamma, faulty=faulty,
+            seed_parity=(engine == "batch-parity"),
+            max_chunk_elements=max_chunk_elements,
+        )
+
+    if faulty is None or isinstance(faulty, (set, frozenset)):
+        faulty_list = [frozenset(faulty or ())] * len(seeds)
+    else:
+        faulty_list = [frozenset(f) for f in faulty]
+        if len(faulty_list) != len(seeds):
+            raise ValueError(
+                f"got {len(faulty_list)} fault sets for {len(seeds)} trials"
+            )
+    worker = _fast_worker if engine == "process" else _agent_worker
+    runs = run_trials(
+        worker,
+        [(colors, gamma, f, s) for f, s in zip(faulty_list, seeds)],
+        parallel=parallel,
+        max_workers=max_workers,
+    )
+    return batch_from_runs(runs, colors)

@@ -12,27 +12,29 @@ fractions:
 * a **chi-square goodness-of-fit p-value**.  For leader election (n
   categories, expected counts below the chi-square validity threshold)
   winners are binned into 8 label groups of equal expected mass first.
+
+Trials run on the batched fastpath (``run_trials_fast``): one array pass
+per table cell, win tallies via a single bincount — no per-trial Python
+objects.
 """
 
 from __future__ import annotations
 
 import math
-from collections import Counter
 from dataclasses import dataclass
 from typing import Hashable, Sequence
 
+import numpy as np
 from scipy import stats as _scipy_stats
 
 from repro.analysis.fairness import (
-    chi_square_fairness,
-    empirical_distribution,
+    chi_square_from_counts,
+    empirical_distribution_from_counts,
     expected_distribution,
-    fail_rate,
     total_variation,
 )
-from repro.experiments.runner import run_trials
+from repro.experiments.dispatch import run_trials_fast
 from repro.experiments.workloads import WORKLOADS
-from repro.fastpath.simulate import simulate_protocol_fast
 from repro.util.tables import Table
 
 __all__ = ["E1Options", "run", "tv_noise_floor"]
@@ -45,6 +47,7 @@ class E1Options:
     trials: int = 400
     gamma: float = 3.0
     seed: int = 2017
+    engine: str = "auto"
     parallel: bool = True
 
 
@@ -62,22 +65,19 @@ def tv_noise_floor(expected: dict[Hashable, float], trials: int) -> float:
     )
 
 
-def _binned_uniform_pvalue(outcomes, n: int, bins: int = 8) -> float:
-    """Chi-square for leader election: bin the n winner labels."""
-    winners = [int(str(o)[2:]) for o in outcomes if o is not None]
-    if not winners:
+def _binned_uniform_pvalue(winners: np.ndarray, n: int, bins: int = 8) -> float:
+    """Chi-square for leader election: bin the n winner labels.
+
+    ``winners`` are the winning agent labels of the successful trials —
+    for the leader-election workload the label *is* the color.
+    """
+    if winners.size == 0:
         raise ValueError("no successful runs")
-    counts = Counter(min(bins - 1, w * bins // n) for w in winners)
-    observed = [counts.get(b, 0) for b in range(bins)]
-    expected = [len(winners) / bins] * bins
+    binned = np.minimum(bins - 1, winners * bins // n)
+    observed = np.bincount(binned, minlength=bins)
+    expected = [winners.size / bins] * bins
     _stat, pvalue = _scipy_stats.chisquare(observed, expected)
     return float(pvalue)
-
-
-def _trial(args: tuple[str, int, float, int]) -> Hashable | None:
-    workload, n, gamma, seed = args
-    colors = WORKLOADS[workload](n)
-    return simulate_protocol_fast(colors, gamma=gamma, seed=seed).outcome
 
 
 def run(opts: E1Options = E1Options()) -> Table:
@@ -88,20 +88,26 @@ def run(opts: E1Options = E1Options()) -> Table:
     )
     for workload in opts.workloads:
         for n in opts.sizes:
-            args = [
-                (workload, n, opts.gamma, opts.seed + 1000 * i)
-                for i in range(opts.trials)
-            ]
-            outcomes = run_trials(_trial, args, parallel=opts.parallel)
-            expected = expected_distribution(WORKLOADS[workload](n))
-            tv = total_variation(empirical_distribution(outcomes), expected)
+            colors = WORKLOADS[workload](n)
+            seeds = [opts.seed + 1000 * i for i in range(opts.trials)]
+            batch = run_trials_fast(
+                colors, seeds, gamma=opts.gamma,
+                engine=opts.engine, parallel=opts.parallel,
+            )
+            counts = batch.winning_counts()
+            expected = expected_distribution(colors)
+            tv = total_variation(
+                empirical_distribution_from_counts(counts), expected
+            )
             floor = tv_noise_floor(expected, opts.trials)
             if workload == "leader_election":
-                pvalue = _binned_uniform_pvalue(outcomes, n)
+                pvalue = _binned_uniform_pvalue(
+                    batch.winner[batch.winner >= 0], n
+                )
             else:
-                pvalue = chi_square_fairness(outcomes, expected)[1]
+                pvalue = chi_square_from_counts(counts, expected)[1]
             table.add_row(
-                workload, n, opts.trials, fail_rate(outcomes), tv, floor,
+                workload, n, opts.trials, batch.fail_rate(), tv, floor,
                 pvalue, pvalue > 0.05,
             )
     return table

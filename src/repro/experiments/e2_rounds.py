@@ -9,7 +9,8 @@ Two quantities:
   says it finishes within the q-round budget w.h.p.
 
 Both are fitted against log n (expect R^2 ~ 1) and, as a falsification
-control, against n (expect visibly worse R^2).
+control, against n (expect visibly worse R^2).  Trials run on the
+batched fastpath; the per-size statistics reduce length-`trials` arrays.
 """
 
 from __future__ import annotations
@@ -19,9 +20,8 @@ from typing import Sequence
 
 from repro.analysis.stats import mean_ci
 from repro.analysis.scaling import fit_against
-from repro.experiments.runner import run_trials
+from repro.experiments.dispatch import run_trials_fast
 from repro.experiments.workloads import balanced
-from repro.fastpath.simulate import simulate_protocol_fast
 from repro.util.tables import Table
 
 __all__ = ["E2Options", "run"]
@@ -33,13 +33,8 @@ class E2Options:
     trials: int = 60
     gamma: float = 3.0
     seed: int = 2202
+    engine: str = "auto"
     parallel: bool = True
-
-
-def _trial(args: tuple[int, float, int]) -> tuple[int, int, bool]:
-    n, gamma, seed = args
-    res = simulate_protocol_fast(balanced(n), gamma=gamma, seed=seed)
-    return res.rounds, res.find_min_rounds, res.find_min_agreement
 
 
 def run(opts: E2Options = E2Options()) -> tuple[Table, Table]:
@@ -50,14 +45,18 @@ def run(opts: E2Options = E2Options()) -> tuple[Table, Table]:
     )
     sched, fm_means = [], []
     for n in opts.sizes:
-        args = [(n, opts.gamma, opts.seed + 7 * i) for i in range(opts.trials)]
-        rows = run_trials(_trial, args, parallel=opts.parallel)
-        rounds = rows[0][0]
-        fm = [r[1] for r in rows if r[1] >= 0]
-        agree = sum(1 for r in rows if r[2])
-        mean_fm, _ = mean_ci(fm) if fm else (float("nan"), 0.0)
+        seeds = [opts.seed + 7 * i for i in range(opts.trials)]
+        batch = run_trials_fast(
+            balanced(n), seeds, gamma=opts.gamma,
+            engine=opts.engine, parallel=opts.parallel,
+        )
+        rounds = batch.rounds
+        fm = batch.find_min_rounds[batch.find_min_rounds >= 0]
+        agree = int(batch.find_min_agreement.sum())
+        mean_fm, _ = mean_ci(fm) if fm.size else (float("nan"), 0.0)
         main.add_row(
-            n, rounds // 4, rounds, mean_fm, max(fm) if fm else None,
+            n, rounds // 4, rounds, mean_fm,
+            int(fm.max()) if fm.size else None,
             f"{agree}/{opts.trials}",
         )
         sched.append(rounds)

@@ -2,8 +2,9 @@
 
 The largest message of a run is the biggest certificate transmitted: the
 most-voted agent's certificate carries Theta(log n) votes of Theta(log n)
-bits each.  We measure the per-run maximum message size across n and fit
-it against log^2 n (expected winner) with log n and n as controls.
+bits each.  We measure the per-run maximum message size across n (on the
+batched fastpath) and fit it against log^2 n (expected winner) with
+log n and n as controls.
 """
 
 from __future__ import annotations
@@ -13,9 +14,8 @@ from typing import Sequence
 
 from repro.analysis.scaling import fit_against
 from repro.analysis.stats import mean_ci
-from repro.experiments.runner import run_trials
+from repro.experiments.dispatch import run_trials_fast
 from repro.experiments.workloads import balanced
-from repro.fastpath.simulate import simulate_protocol_fast
 from repro.util.tables import Table
 
 __all__ = ["E3Options", "run"]
@@ -27,13 +27,8 @@ class E3Options:
     trials: int = 60
     gamma: float = 3.0
     seed: int = 3303
+    engine: str = "auto"
     parallel: bool = True
-
-
-def _trial(args: tuple[int, float, int]) -> tuple[int, int]:
-    n, gamma, seed = args
-    res = simulate_protocol_fast(balanced(n), gamma=gamma, seed=seed)
-    return res.max_message_bits, res.max_votes
 
 
 def run(opts: E3Options = E3Options()) -> tuple[Table, Table]:
@@ -44,13 +39,16 @@ def run(opts: E3Options = E3Options()) -> tuple[Table, Table]:
     )
     means = []
     for n in opts.sizes:
-        args = [(n, opts.gamma, opts.seed + 11 * i) for i in range(opts.trials)]
-        rows = run_trials(_trial, args, parallel=opts.parallel)
-        bits = [r[0] for r in rows]
-        votes = [r[1] for r in rows]
-        mean_bits, _ = mean_ci(bits)
-        mean_votes, _ = mean_ci(votes)
-        main.add_row(n, mean_bits, max(bits), mean_votes)
+        seeds = [opts.seed + 11 * i for i in range(opts.trials)]
+        batch = run_trials_fast(
+            balanced(n), seeds, gamma=opts.gamma,
+            engine=opts.engine, parallel=opts.parallel,
+        )
+        mean_bits, _ = mean_ci(batch.max_message_bits)
+        mean_votes, _ = mean_ci(batch.max_votes)
+        main.add_row(
+            n, mean_bits, int(batch.max_message_bits.max()), mean_votes
+        )
         means.append(mean_bits)
 
     fits = Table(

@@ -4,6 +4,8 @@ Protocol P against the LOCAL-model commit–reveal election (the prior
 work's cost): total messages and total bits per run, their ratio, and the
 crossover size beyond which P is strictly cheaper.  P's totals are also
 fitted against n log n / n log^3 n (expected winners) and n^2 (control).
+P's runs execute on the batched fastpath; the baselines stay per-run
+(one execution per size is all they need).
 """
 
 from __future__ import annotations
@@ -15,9 +17,8 @@ from repro.analysis.scaling import fit_against
 from repro.analysis.stats import mean_ci
 from repro.baselines.halpern_vilaca import run_halpern_vilaca
 from repro.baselines.local_broadcast import run_local_fair_election
-from repro.experiments.runner import run_trials
+from repro.experiments.dispatch import run_trials_fast
 from repro.experiments.workloads import balanced
-from repro.fastpath.simulate import simulate_protocol_fast
 from repro.util.tables import Table
 
 __all__ = ["E4Options", "run"]
@@ -29,13 +30,8 @@ class E4Options:
     trials: int = 20
     gamma: float = 3.0
     seed: int = 4404
+    engine: str = "auto"
     parallel: bool = True
-
-
-def _trial(args: tuple[int, float, int]) -> tuple[int, int]:
-    n, gamma, seed = args
-    res = simulate_protocol_fast(balanced(n), gamma=gamma, seed=seed)
-    return res.total_messages, res.total_bits
 
 
 def run(opts: E4Options = E4Options()) -> tuple[Table, Table]:
@@ -49,10 +45,13 @@ def run(opts: E4Options = E4Options()) -> tuple[Table, Table]:
     p_msgs, p_bits = [], []
     crossover = None
     for n in opts.sizes:
-        args = [(n, opts.gamma, opts.seed + 13 * i) for i in range(opts.trials)]
-        rows = run_trials(_trial, args, parallel=opts.parallel)
-        msgs, _ = mean_ci([r[0] for r in rows])
-        bits, _ = mean_ci([r[1] for r in rows])
+        seeds = [opts.seed + 13 * i for i in range(opts.trials)]
+        batch = run_trials_fast(
+            balanced(n), seeds, gamma=opts.gamma,
+            engine=opts.engine, parallel=opts.parallel,
+        )
+        msgs, _ = mean_ci(batch.total_messages)
+        bits, _ = mean_ci(batch.total_bits)
         local = run_local_fair_election(balanced(n), seed=opts.seed)
         hv = run_halpern_vilaca(balanced(n), seed=opts.seed)
         ratio = msgs / local.messages

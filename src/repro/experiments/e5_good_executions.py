@@ -7,6 +7,9 @@ is a *decreasing* bad-execution rate in n (for fixed sufficient gamma)
 and in gamma (for fixed n).  The Lemma 6.1 observable — the minimum
 number of Commitment pulls any agent received — is reported too, since
 the equilibrium argument rides on it.
+
+Each (n, gamma) cell is one batched-fastpath pass; the event rates are
+single array reductions over the batch.
 """
 
 from __future__ import annotations
@@ -15,9 +18,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.analysis.stats import wilson_interval
-from repro.experiments.runner import run_trials
+from repro.experiments.dispatch import run_trials_fast
 from repro.experiments.workloads import balanced
-from repro.fastpath.simulate import simulate_protocol_fast
 from repro.util.tables import Table
 
 __all__ = ["E5Options", "run"]
@@ -29,19 +31,8 @@ class E5Options:
     gammas: Sequence[float] = (1.0, 2.0, 3.0)
     trials: int = 300
     seed: int = 5505
+    engine: str = "auto"
     parallel: bool = True
-
-
-def _trial(args: tuple[int, float, int]) -> tuple[bool, bool, bool, int, int]:
-    n, gamma, seed = args
-    res = simulate_protocol_fast(balanced(n), gamma=gamma, seed=seed)
-    return (
-        res.is_good,
-        res.k_collision,
-        res.find_min_agreement,
-        res.min_votes,
-        res.min_commitment_pulls_received,
-    )
 
 
 def run(opts: E5Options = E5Options()) -> Table:
@@ -53,18 +44,19 @@ def run(opts: E5Options = E5Options()) -> Table:
     )
     for n in opts.sizes:
         for gamma in opts.gammas:
-            args = [
-                (n, gamma, opts.seed + 17 * i) for i in range(opts.trials)
-            ]
-            rows = run_trials(_trial, args, parallel=opts.parallel)
-            good = sum(1 for r in rows if r[0])
-            collisions = sum(1 for r in rows if r[1])
-            agreed = sum(1 for r in rows if r[2])
+            seeds = [opts.seed + 17 * i for i in range(opts.trials)]
+            batch = run_trials_fast(
+                balanced(n), seeds, gamma=gamma,
+                engine=opts.engine, parallel=opts.parallel,
+            )
+            good = int(batch.is_good.sum())
+            collisions = int(batch.k_collision.sum())
+            agreed = int(batch.find_min_agreement.sum())
             lo, _hi = wilson_interval(good, opts.trials)
             table.add_row(
                 n, gamma, good / opts.trials, lo, collisions,
                 f"{agreed}/{opts.trials}",
-                min(r[3] for r in rows),
-                min(r[4] for r in rows),
+                int(batch.min_votes.min()),
+                int(batch.min_commitment_pulls_received.min()),
             )
     return table

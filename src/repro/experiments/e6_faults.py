@@ -7,23 +7,27 @@ and measure: success rate, and fairness *relative to the active agents*
 success stays w.h.p. for every alpha given gamma = gamma(alpha) — larger
 alpha needs larger gamma, which the table makes visible by including a
 gamma too small for the heavy-fault rows.
+
+The per-trial fault sets (random placements differ per seed) go straight
+into the batched fastpath, which supports ragged active sets; the
+per-trial expected "red" fractions reduce over one boolean matrix.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Sequence
+from typing import Sequence
+
+import numpy as np
 
 from repro.adversary.faults import color_targeted_faults, random_faults
 from repro.analysis.fairness import (
-    empirical_distribution,
-    expected_distribution,
-    fail_rate,
+    empirical_distribution_from_counts,
     total_variation,
 )
-from repro.experiments.runner import run_trials
+from repro.experiments.dispatch import run_trials_fast
 from repro.experiments.workloads import balanced
-from repro.fastpath.simulate import simulate_protocol_fast
+from repro.fastpath.batch import active_matrix
 from repro.util.rng import SeedTree
 from repro.util.tables import Table
 
@@ -38,6 +42,7 @@ class E6Options:
     placements: Sequence[str] = ("random", "color_targeted")
     trials: int = 200
     seed: int = 6606
+    engine: str = "auto"
     parallel: bool = True
 
 
@@ -48,16 +53,6 @@ def _faults(placement: str, colors, alpha: float, seed: int) -> frozenset[int]:
     return color_targeted_faults(colors, "red", alpha)
 
 
-def _trial(
-    args: tuple[int, float, float, str, int]
-) -> tuple[Hashable | None, frozenset[int]]:
-    n, alpha, gamma, placement, seed = args
-    colors = balanced(n)
-    faulty = _faults(placement, colors, alpha, seed)
-    res = simulate_protocol_fast(colors, gamma=gamma, faulty=faulty, seed=seed)
-    return res.outcome, faulty
-
-
 def run(opts: E6Options = E6Options()) -> Table:
     table = Table(
         headers=["placement", "alpha", "gamma", "success rate",
@@ -65,29 +60,33 @@ def run(opts: E6Options = E6Options()) -> Table:
         title=f"E6  Permanent worst-case faults (n = {opts.n})",
     )
     colors = balanced(opts.n)
+    red = np.array([c == "red" for c in colors])
     for placement in opts.placements:
         for alpha in opts.alphas:
+            seeds = [opts.seed + 19 * i for i in range(opts.trials)]
+            faulty = [
+                _faults(placement, colors, alpha, s) for s in seeds
+            ]
+            # The fairness target changes per trial (random faults):
+            # average the expected distribution over trials.
+            active = active_matrix(opts.n, faulty)
+            exp_red = float(
+                ((red & active).sum(axis=1) / active.sum(axis=1)).mean()
+            )
+            expected = {"red": exp_red, "blue": 1.0 - exp_red}
             for gamma in opts.gammas:
-                args = [
-                    (opts.n, alpha, gamma, placement, opts.seed + 19 * i)
-                    for i in range(opts.trials)
-                ]
-                rows = run_trials(_trial, args, parallel=opts.parallel)
-                outcomes = [r[0] for r in rows]
-                # The fairness target changes per trial (random faults):
-                # average the expected distribution over trials.
-                exp_red = 0.0
-                for _, faulty in rows:
-                    active = [i for i in range(opts.n) if i not in faulty]
-                    exp = expected_distribution(colors, active)
-                    exp_red += exp.get("red", 0.0)
-                exp_red /= len(rows)
-                expected = {"red": exp_red, "blue": 1.0 - exp_red}
+                batch = run_trials_fast(
+                    colors, seeds, gamma=gamma, faulty=faulty,
+                    engine=opts.engine, parallel=opts.parallel,
+                )
                 tv = total_variation(
-                    empirical_distribution(outcomes), expected
+                    empirical_distribution_from_counts(
+                        batch.winning_counts()
+                    ),
+                    expected,
                 )
                 table.add_row(
                     placement, alpha, gamma,
-                    1.0 - fail_rate(outcomes), tv, exp_red,
+                    batch.success_rate(), tv, exp_red,
                 )
     return table

@@ -1,18 +1,34 @@
-"""Vectorised fast path for honest(+faulty) executions of Protocol P.
+"""Vectorised fast paths for honest(+faulty) executions of Protocol P.
 
 The agent engine (``repro.gossip`` + ``repro.core``) supports arbitrary
 deviating strategies but dispatches Python objects per agent per round.
 The scaling experiments (E1–E6) need thousands of honest runs at large n,
 where nothing strategic happens — so this package simulates the *same*
-process with NumPy array operations, orders of magnitude faster.
+process with NumPy array operations, orders of magnitude faster:
 
-The fastpath is cross-validated against the agent engine in
-``tests/test_fastpath.py``: identical invariants, statistically identical
-outcome distributions, and message/size accounting within the documented
-modelling simplification (certificate-bearing messages are priced at the
-winner's certificate size).
+* :func:`simulate_protocol_fast` — one run, vectorised within the run;
+* :func:`simulate_protocol_fast_batch` — B runs in one batched pass
+  (trial-axis vectorisation; a bit-exact seed-parity mode and a
+  sufficient-statistics mode, see :mod:`repro.fastpath.batch`).
+
+The fastpaths are cross-validated against the agent engine in
+``tests/test_fastpath.py`` and against each other in
+``tests/test_fastpath_batch.py``: identical invariants, statistically
+identical outcome distributions, and message/size accounting within the
+documented modelling simplifications (DESIGN.md §2–§3).
 """
 
+from repro.fastpath.batch import (
+    FastBatchResult,
+    batch_from_runs,
+    simulate_protocol_fast_batch,
+)
 from repro.fastpath.simulate import FastRunResult, simulate_protocol_fast
 
-__all__ = ["FastRunResult", "simulate_protocol_fast"]
+__all__ = [
+    "FastBatchResult",
+    "FastRunResult",
+    "batch_from_runs",
+    "simulate_protocol_fast",
+    "simulate_protocol_fast_batch",
+]

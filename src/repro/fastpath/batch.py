@@ -1,0 +1,709 @@
+"""Trial-axis batched fastpath: B Monte-Carlo runs in one NumPy pass.
+
+Every experiment in the reproduction is a Monte-Carlo estimate over
+hundreds of independent runs of Protocol P.  The per-run fastpath
+(:mod:`repro.fastpath.simulate`) vectorises *within* a run but still pays
+~10^2 NumPy dispatches of Python overhead per trial; this module batches
+the trial axis as well.  Two modes share one result type:
+
+**Seed-parity mode** (``seed_parity=True``) replays every trial's random
+stream exactly as the per-run fastpath consumes it (``SeedTree(seed) ->
+child("fast")`` through the shared ``_draw_run`` helper) and carries the
+whole batch through ``(B, n_a, q)`` tensors: row-offset flattened
+``bincount`` accumulation (trial ``b`` owns bins ``[b*n, (b+1)*n)``) with
+the exact-int64 vote-sum guarantee, batch-wide Find-Min round masks, and
+vectorised accounting.  Results are *bit-identical* to looping
+``simulate_protocol_fast`` over the same seeds — not merely
+statistically consistent (``tests/test_fastpath_batch.py``).
+
+**Statistical mode** (the default) samples each trial's sufficient
+statistics instead of materialising per-pull tensors, which removes the
+per-trial RNG volume (the actual wall-clock floor) entirely:
+
+* per-agent vote hashes ``k`` are drawn directly — conditioned on
+  receiving at least one vote, ``k_u`` is uniform on ``[m)`` and
+  independent across receivers (receivers see disjoint vote sets), so
+  the winner (argmin of ``(k, label)``) and the k-collision event keep
+  their exact mechanism and distribution;
+* zero-vote receivers are sampled from the exact per-cell marginal
+  ``Bin((n_a-1)q, 1/(n-1))`` and pinned to ``k = 0``;
+* the Find-Min spread is the exact Markov chain of the informed-set
+  size: each uninformed active agent flips with probability
+  ``|I|/(n-1)`` independently, so one binomial per round per trial
+  reproduces the exact law of ``find_min_rounds`` and agreement;
+* pull replies are ``Bin(n_a q, (n_a-1)/(n-1))`` (exact marginals);
+* the count *statistics* (min/max votes, zero-vote cell counts, the
+  winner's certificate size, min commitment pulls) are sampled from
+  the exact per-cell marginal under an independence approximation
+  across cells — the multinomial total constraint induces only O(1/n)
+  negative correlation.  This is the one documented approximation of
+  the mode (DESIGN.md §3); it touches the good-execution rate through
+  the ``min_votes >= 1`` event (an O(1/n)-class perturbation), while
+  fairness, rounds/agreement, and communication means stay exact.
+
+Memory is bounded in both modes: statistical mode works in fixed-size
+trial blocks (a function of ``n`` only, so results never depend on the
+chunking), and parity mode splits ``B`` so a chunk's ``B * n_a * q``
+tensor stays under ``max_chunk_elements``.  Chunked and unchunked runs
+produce identical arrays because every trial (parity) or block
+(statistical) owns its own random stream.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+from repro.core.params import ProtocolParams
+from repro.fastpath.simulate import (
+    _PULL_TOPIC_BITS,
+    FastRunResult,
+    _draw_run,
+    _exact_index_sums,
+    _offset_self,
+    _peer_dtype,
+)
+from repro.util.rng import SeedTree
+
+__all__ = [
+    "DEFAULT_CHUNK_ELEMENTS",
+    "FastBatchResult",
+    "active_matrix",
+    "batch_from_runs",
+    "simulate_protocol_fast_batch",
+]
+
+# Elements (trial x agent x round cells) a parity-mode chunk may
+# materialise.  The working set is a small constant number of such
+# tensors, so 2^23 cells keeps peak memory in the low hundreds of MB.
+DEFAULT_CHUNK_ELEMENTS = 1 << 23
+
+# Statistical mode materialises (block, n) arrays only; blocks are a
+# fixed function of n so results are chunking-independent.
+_STAT_BLOCK_ELEMENTS = 1 << 22
+_STAT_STREAM_SALT = 0x_FA57_BA7C  # domain-separates block streams
+
+_INT64_MAX = np.iinfo(np.int64).max
+
+
+@dataclass(frozen=True)
+class FastBatchResult:
+    """Struct-of-arrays result of B fastpath trials.
+
+    Every per-trial field of :class:`FastRunResult` becomes a length-B
+    array; :meth:`trial` reconstructs the per-run dataclass (used by the
+    equivalence tests and anywhere a single run is handed off).
+    ``winner`` is the winning agent's label, or ``-1`` where the run
+    failed (⊥) — mirroring ``FastRunResult.winner is None``.
+    """
+
+    n: int
+    n_trials: int
+    rounds: int
+    colors: tuple[Hashable, ...]
+    n_active: np.ndarray                      # (B,) int64
+    winner: np.ndarray                        # (B,) int64, -1 on failure
+    min_votes: np.ndarray                     # (B,) int64
+    max_votes: np.ndarray                     # (B,) int64
+    k_collision: np.ndarray                   # (B,) bool
+    find_min_agreement: np.ndarray            # (B,) bool
+    find_min_rounds: np.ndarray               # (B,) int64, -1: never
+    min_commitment_pulls_received: np.ndarray  # (B,) int64
+    total_messages: np.ndarray                # (B,) int64
+    total_bits: np.ndarray                    # (B,) int64
+    max_message_bits: np.ndarray              # (B,) int64
+
+    def __len__(self) -> int:
+        return self.n_trials
+
+    # -- per-trial views ---------------------------------------------------
+    @property
+    def succeeded(self) -> np.ndarray:
+        """(B,) bool — did trial b reach consensus?"""
+        return self.winner >= 0
+
+    @property
+    def is_good(self) -> np.ndarray:
+        """(B,) bool — Definition 2 good-execution flag per trial."""
+        return (
+            (self.min_votes >= 1)
+            & ~self.k_collision
+            & self.find_min_agreement
+        )
+
+    def outcomes(self) -> list[Hashable | None]:
+        """Per-trial winning colors (``None`` for ⊥), in trial order."""
+        return [
+            self.colors[w] if w >= 0 else None for w in self.winner.tolist()
+        ]
+
+    def trial(self, i: int) -> FastRunResult:
+        """Reconstruct trial ``i`` as a :class:`FastRunResult`."""
+        w = int(self.winner[i])
+        return FastRunResult(
+            n=self.n,
+            n_active=int(self.n_active[i]),
+            outcome=self.colors[w] if w >= 0 else None,
+            winner=w if w >= 0 else None,
+            rounds=self.rounds,
+            min_votes=int(self.min_votes[i]),
+            max_votes=int(self.max_votes[i]),
+            k_collision=bool(self.k_collision[i]),
+            find_min_agreement=bool(self.find_min_agreement[i]),
+            find_min_rounds=int(self.find_min_rounds[i]),
+            min_commitment_pulls_received=int(
+                self.min_commitment_pulls_received[i]
+            ),
+            total_messages=int(self.total_messages[i]),
+            total_bits=int(self.total_bits[i]),
+            max_message_bits=int(self.max_message_bits[i]),
+        )
+
+    # -- cheap aggregate reducers ------------------------------------------
+    def _require_trials(self) -> None:
+        if self.n_trials == 0:
+            raise ValueError("empty batch has no rates")
+
+    def success_rate(self) -> float:
+        self._require_trials()
+        return float(np.count_nonzero(self.winner >= 0)) / self.n_trials
+
+    def fail_rate(self) -> float:
+        return 1.0 - self.success_rate()
+
+    def good_rate(self) -> float:
+        self._require_trials()
+        return float(np.count_nonzero(self.is_good)) / self.n_trials
+
+    def winning_counts(self) -> Counter:
+        """Wins per color over successful trials (one bincount, no dicts
+        in the trial loop)."""
+        won = self.winner[self.winner >= 0]
+        per_label = np.bincount(won, minlength=self.n)
+        tally: Counter = Counter()
+        for label in np.flatnonzero(per_label):
+            tally[self.colors[label]] += int(per_label[label])
+        return tally
+
+
+def _normalise_faulty(
+    faulty: frozenset[int] | Iterable[frozenset[int]] | None, n_trials: int
+) -> list[frozenset[int]]:
+    if faulty is None:
+        return [frozenset()] * n_trials
+    if isinstance(faulty, (set, frozenset)):
+        return [frozenset(faulty)] * n_trials
+    per_trial = [frozenset(f) for f in faulty]
+    if len(per_trial) != n_trials:
+        raise ValueError(
+            f"got {len(per_trial)} fault sets for {n_trials} trials"
+        )
+    return per_trial
+
+
+def simulate_protocol_fast_batch(
+    colors: Sequence[Hashable],
+    seeds: Sequence[int],
+    gamma: float = 3.0,
+    faulty: frozenset[int] | Iterable[frozenset[int]] | None = frozenset(),
+    *,
+    seed_parity: bool = False,
+    max_chunk_elements: int | None = None,
+) -> FastBatchResult:
+    """Simulate ``len(seeds)`` executions of Protocol P in batched NumPy.
+
+    Parameters
+    ----------
+    colors:
+        Initial color per agent (shared by every trial).
+    seeds:
+        One root seed per trial.  Any fixed seed list gives a fully
+        deterministic batch in either mode.
+    faulty:
+        A single fault set applied to every trial, or one set per trial.
+    seed_parity:
+        ``True`` replays each trial's per-run random stream so trial
+        ``b`` equals ``simulate_protocol_fast(colors, gamma, faulty_b,
+        seeds[b])`` bit-for-bit (slower: the full pull tensors are
+        drawn).  ``False`` (default) samples sufficient statistics —
+        exact mechanism and distributions except for the documented
+        independence approximation on count extremes (module docstring).
+    max_chunk_elements:
+        Parity-mode memory budget: trials are processed in chunks whose
+        ``B_chunk * n_a * q`` stays at or under this many cells (default
+        :data:`DEFAULT_CHUNK_ELEMENTS`).  Statistical mode's memory is
+        bounded by fixed-size blocks and ignores this knob; neither
+        mode's results depend on it.
+    """
+    colors = tuple(colors)
+    n = len(colors)
+    seeds = [int(s) for s in seeds]
+    n_trials = len(seeds)
+    params = ProtocolParams(n=n, gamma=gamma, num_colors=len(set(colors)))
+    q, m = params.q, params.m
+    if (q + 1) * m >= 2 ** 62:
+        raise ValueError(f"n={n} too large for exact int64 vote sums")
+    if n ** 4 >= 2 ** 62:
+        raise ValueError(f"n={n} too large for the (k, label) winner key")
+
+    faulty_list = _normalise_faulty(faulty, n_trials)
+    for f in faulty_list:
+        if len(f) >= n:
+            raise ValueError("no active agent")
+        for label in f:
+            if not 0 <= label < n:
+                raise ValueError(f"faulty label {label} out of range")
+
+    if n_trials == 0:
+        empty_i = np.zeros(0, dtype=np.int64)
+        empty_b = np.zeros(0, dtype=bool)
+        return FastBatchResult(
+            n=n, n_trials=0, rounds=params.total_rounds, colors=colors,
+            n_active=empty_i, winner=empty_i.copy(),
+            min_votes=empty_i.copy(), max_votes=empty_i.copy(),
+            k_collision=empty_b, find_min_agreement=empty_b.copy(),
+            find_min_rounds=empty_i.copy(),
+            min_commitment_pulls_received=empty_i.copy(),
+            total_messages=empty_i.copy(), total_bits=empty_i.copy(),
+            max_message_bits=empty_i.copy(),
+        )
+
+    if seed_parity:
+        budget = (
+            DEFAULT_CHUNK_ELEMENTS if max_chunk_elements is None
+            else int(max_chunk_elements)
+        )
+        n_a_cap = n - min(len(f) for f in faulty_list)
+        block = max(1, budget // max(1, n_a_cap * q))
+        simulate = _simulate_parity_chunk
+    else:
+        block = max(1, _STAT_BLOCK_ELEMENTS // n)
+        simulate = _simulate_stat_block
+
+    chunks = [
+        simulate(n, params, seeds[i:i + block], faulty_list[i:i + block])
+        for i in range(0, n_trials, block)
+    ]
+
+    def cat(field: str) -> np.ndarray:
+        return np.concatenate([c[field] for c in chunks])
+
+    return FastBatchResult(
+        n=n,
+        n_trials=n_trials,
+        rounds=params.total_rounds,
+        colors=colors,
+        n_active=cat("n_active"),
+        winner=cat("winner"),
+        min_votes=cat("min_votes"),
+        max_votes=cat("max_votes"),
+        k_collision=cat("k_collision"),
+        find_min_agreement=cat("find_min_agreement"),
+        find_min_rounds=cat("find_min_rounds"),
+        min_commitment_pulls_received=cat("min_commitment_pulls_received"),
+        total_messages=cat("total_messages"),
+        total_bits=cat("total_bits"),
+        max_message_bits=cat("max_message_bits"),
+    )
+
+
+def active_matrix(
+    n: int, faulty_list: Sequence[frozenset[int]]
+) -> np.ndarray:
+    """(trials, n) boolean mask of active agents for per-trial faults.
+
+    The shared faults-to-mask convention: both batch engines and the
+    experiment modules (E6's per-trial fairness targets) build their
+    active masks here.
+    """
+    active = np.ones((len(faulty_list), n), dtype=bool)
+    for b, f in enumerate(faulty_list):
+        if f:
+            active[b, list(f)] = False
+    return active
+
+
+def _accounting(
+    params: ProtocolParams,
+    n_a: np.ndarray,
+    winner_votes: np.ndarray,
+    max_votes: np.ndarray,
+    commit_replies: np.ndarray,
+    findmin_replies: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised message/bit totals — the per-run pricing model
+    (winner-certificate size for every certificate-bearing message,
+    DESIGN.md §2) applied to length-B arrays."""
+    header = 2 * params.label_bits
+    per_vote = params.label_bits + params.round_bits + params.vote_bits
+    cert_base = params.vote_bits + params.color_bits + params.label_bits
+    winner_cert_bits = cert_base + winner_votes * per_vote
+    max_cert_bits = cert_base + max_votes * per_vote
+    intention = params.intention_bits()
+
+    naq = n_a.astype(np.int64) * params.q
+    total_messages = 4 * naq + commit_replies + findmin_replies
+    total_bits = (
+        2 * naq * (header + _PULL_TOPIC_BITS)          # commit+find-min reqs
+        + commit_replies * (header + intention)
+        + naq * (header + params.vote_message_bits())
+        + findmin_replies * (header + winner_cert_bits)
+        + naq * (header + winner_cert_bits)            # coherence pushes
+    )
+    max_message_bits = np.maximum(header + intention, header + max_cert_bits)
+    return total_messages, total_bits, max_message_bits.astype(np.int64)
+
+
+# ---------------------------------------------------------------------------
+# Seed-parity mode: (B, n_a, q) tensors, bit-identical to the per-run path.
+# ---------------------------------------------------------------------------
+
+def _simulate_parity_chunk(
+    n: int,
+    params: ProtocolParams,
+    seeds: Sequence[int],
+    faulty_list: Sequence[frozenset[int]],
+) -> dict[str, np.ndarray]:
+    """One chunk of trials, fully vectorised over the trial axis."""
+    q, m = params.q, params.m
+    b_sz = len(seeds)
+    rows = np.arange(b_sz)
+
+    active = active_matrix(n, faulty_list)
+    n_a = active.sum(axis=1)
+    n_a_max = int(n_a.max())
+    all_active = not any(faulty_list)
+
+    # Active labels padded to n_a_max with the sentinel "agent n" (an
+    # extra informed-array column that no real draw ever reads).
+    if (n_a == n_a_max).all():
+        valid = None
+        act_pad = np.where(active)[1].reshape(b_sz, n_a_max)
+    else:
+        act_pad = np.full((b_sz, n_a_max), n, dtype=np.int64)
+        valid = np.zeros((b_sz, n_a_max), dtype=bool)
+        for b in range(b_sz):
+            idx = np.flatnonzero(active[b])
+            act_pad[b, : idx.size] = idx
+            valid[b, : idx.size] = True
+
+    # ------------------------------------------------------------------
+    # Draws + exact accumulation: the only per-trial loop.  Each trial
+    # replays the exact stream the per-run fastpath would consume for
+    # its seed, and accumulates its own n bins right away — per-trial
+    # bincounts keep the scatter targets cache-resident, which beats a
+    # batch-flattened (trial, receiver) bincount whose B*n bins thrash
+    # the cache (~4x on the benchmark machine).  Only the Find-Min pull
+    # tensor is kept, for the batch-wide round loop below.
+    pulls = np.zeros((b_sz, q, n_a_max), dtype=_peer_dtype(n))
+    pulls_received = np.empty((b_sz, n), dtype=np.int64)
+    counts = np.empty((b_sz, n), dtype=np.int64)
+    k_acc = np.empty((b_sz, n), dtype=np.int64)
+    naq = n_a.astype(np.int64) * q
+    commit_replies = naq.copy()
+    for b, seed in enumerate(seeds):
+        rng = SeedTree(seed).child("fast").generator()
+        nb = int(n_a[b])
+        act_idx = act_pad[b, :nb]
+        t, v, p = _draw_run(rng, n, nb, q, m)
+        _offset_self(t, act_idx[None, :, None])
+        pulls[b, :, :nb] = p
+        if not all_active:
+            commit_replies[b] = int(active[b, t[0]].sum())
+        both = np.concatenate([t[0].ravel(), t[1].ravel()]).astype(np.intp)
+        both[t[0].size:] += n
+        received = np.bincount(both, minlength=2 * n)
+        pulls_received[b] = received[:n]
+        counts[b] = received[n:]
+        k_acc[b] = _exact_index_sums(
+            t[1].ravel().astype(np.intp), v.ravel(), n,
+            int(counts[b].max()),
+        )
+    _offset_self(pulls, act_pad[:, None, :])
+    k = k_acc % m
+
+    # ------------------------------------------------------------------
+    # Winner (argmin of (k, label) among active) and Definition 2 events.
+    labels = np.arange(n, dtype=np.int64)
+    score = np.where(active, k * n + labels, _INT64_MAX)
+    winner_idx = score.argmin(axis=1)
+
+    k_sent = np.where(active, k, m)
+    k_sorted = np.sort(k_sent, axis=1)
+    k_collision = (
+        (k_sorted[:, 1:] == k_sorted[:, :-1]) & (k_sorted[:, 1:] < m)
+    ).any(axis=1)
+
+    min_votes = np.where(active, counts, _INT64_MAX).min(axis=1)
+    max_votes = np.where(active, counts, -1).max(axis=1)
+    min_pulls = np.where(active, pulls_received, _INT64_MAX).min(axis=1)
+
+    # Find-Min replies (pulls answered by active agents) for the
+    # accounting below; with no faults every pull is answered.
+    if all_active:
+        findmin_replies = naq.copy()
+    else:
+        act_at_pull = active[rows[:, None, None], pulls]
+        if valid is not None:
+            act_at_pull &= valid[:, None, :]
+        findmin_replies = act_at_pull.sum(axis=(1, 2), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Find-Min: q synchronous pull rounds, vectorised across trials.
+    # Column n of `informed` is the padding sentinel's scratch cell.
+    informed = np.zeros((b_sz, n + 1), dtype=bool)
+    informed[rows, winner_idx] = True
+    find_min_rounds = np.full(b_sz, -1, dtype=np.int64)
+    rows_col = rows[:, None]
+    for rnd in range(1, q + 1):
+        gathered = informed[rows_col, pulls[:, rnd - 1, :]]
+        now = informed[rows_col, act_pad] | gathered
+        informed[rows_col, act_pad] = now
+        if valid is not None:
+            now |= ~valid
+        done = now.all(axis=1)
+        find_min_rounds[(find_min_rounds < 0) & done] = rnd
+        if done.all():
+            break
+    agreement = find_min_rounds > 0
+
+    total_messages, total_bits, max_message_bits = _accounting(
+        params, n_a, counts[rows, winner_idx], max_votes,
+        commit_replies, findmin_replies,
+    )
+
+    return {
+        "n_active": n_a.astype(np.int64),
+        "winner": np.where(agreement, winner_idx, -1).astype(np.int64),
+        "min_votes": min_votes,
+        "max_votes": max_votes,
+        "k_collision": k_collision,
+        "find_min_agreement": agreement,
+        "find_min_rounds": find_min_rounds,
+        "min_commitment_pulls_received": min_pulls,
+        "total_messages": total_messages,
+        "total_bits": total_bits,
+        "max_message_bits": max_message_bits,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Statistical mode: sufficient-statistic sampling, O(B * n) per block.
+# ---------------------------------------------------------------------------
+
+class _CountMarginal:
+    """Exact per-cell law of "pulls received by an active agent":
+    ``Bin((n_a - 1) q, 1/(n-1))`` — n_a - 1 active peers each aim q
+    uniform pulls at n - 1 non-self targets.  (The Commitment and
+    Voting phases share this marginal.)  Holds the CDF on a truncated
+    support plus the zero-conditioned CDF for quantile sampling."""
+
+    def __init__(self, n_a: int, n: int, q: int):
+        trials = max(0, (n_a - 1) * q)
+        p = 1.0 / (n - 1)
+        if trials == 0:
+            self.p0 = 1.0
+            self.cdf = np.ones(1)
+            self.cdf_nonzero = np.ones(1)
+            return
+        dist = _scipy_stats.binom(trials, p)
+        cap = int(dist.isf(1e-15)) + 2
+        self.cdf = dist.cdf(np.arange(cap + 1))
+        self.p0 = float(self.cdf[0])
+        nz = (self.cdf - self.p0) / (1.0 - self.p0)
+        nz[0] = 0.0
+        self.cdf_nonzero = nz
+
+    def sample_min(
+        self, rng: np.random.Generator, cells: np.ndarray
+    ) -> np.ndarray:
+        """Min over ``cells`` iid nonzero draws (independence approx)."""
+        u = rng.random(cells.shape[0])
+        w = 1.0 - (1.0 - u) ** (1.0 / np.maximum(cells, 1))
+        return np.searchsorted(self.cdf_nonzero, w).astype(np.int64)
+
+    def sample_max(
+        self, rng: np.random.Generator, cells: np.ndarray
+    ) -> np.ndarray:
+        """Max over ``cells`` iid draws (independence approx)."""
+        u = rng.random(cells.shape[0])
+        w = u ** (1.0 / np.maximum(cells, 1))
+        return np.searchsorted(self.cdf, w).astype(np.int64)
+
+    def sample_nonzero(
+        self, rng: np.random.Generator, size: int
+    ) -> np.ndarray:
+        """One draw from the count law conditioned on >= 1."""
+        return np.searchsorted(
+            self.cdf_nonzero, rng.random(size)
+        ).astype(np.int64)
+
+
+def _simulate_stat_block(
+    n: int,
+    params: ProtocolParams,
+    seeds: Sequence[int],
+    faulty_list: Sequence[frozenset[int]],
+) -> dict[str, np.ndarray]:
+    """One fixed-size block of trials in sufficient-statistic sampling.
+
+    Draw order is fixed (k values, zero-vote sets, vote extremes,
+    commitment coverage, replies, Find-Min chain) from one block stream
+    derived from the block's seed list, so results are a deterministic
+    function of (colors, gamma, faulty, seeds).
+    """
+    q, m = params.q, params.m
+    b_sz = len(seeds)
+    rows = np.arange(b_sz)
+    rng = np.random.Generator(np.random.PCG64(
+        np.random.SeedSequence(entropy=(_STAT_STREAM_SALT, *seeds))
+    ))
+
+    all_active = not any(faulty_list)
+    active = None if all_active else active_matrix(n, faulty_list)
+    n_a = (
+        np.full(b_sz, n, dtype=np.int64) if all_active
+        else active.sum(axis=1).astype(np.int64)
+    )
+
+    # Per-trial count marginals, grouped by distinct n_a.
+    marginals: dict[int, _CountMarginal] = {
+        int(v): _CountMarginal(int(v), n, q) for v in np.unique(n_a)
+    }
+    p0 = np.array([marginals[int(v)].p0 for v in n_a])
+
+    # ------------------------------------------------------------------
+    # Voting phase.  k_u | (count_u >= 1) ~ Uniform[m), independent
+    # across receivers; zero-vote receivers have k_u = 0.
+    k = rng.integers(m, size=(b_sz, n), dtype=np.int64)
+    zero_votes = rng.binomial(n_a, p0)
+    for b in np.flatnonzero(zero_votes):
+        pool = (
+            np.arange(n) if all_active else np.flatnonzero(active[b])
+        )
+        cells = rng.choice(pool, size=int(zero_votes[b]), replace=False)
+        k[b, cells] = 0
+
+    labels = np.arange(n, dtype=np.int64)
+    if all_active:
+        score = k * n + labels
+    else:
+        score = np.where(active, k * n + labels, _INT64_MAX)
+    winner_idx = score.argmin(axis=1)
+    winner_zero = k[rows, winner_idx] == 0
+
+    k_sent = k if all_active else np.where(active, k, m)
+    k_sorted = np.sort(k_sent, axis=1)
+    k_collision = (
+        (k_sorted[:, 1:] == k_sorted[:, :-1]) & (k_sorted[:, 1:] < m)
+    ).any(axis=1)
+
+    # Count extremes from the exact marginals (independence approx),
+    # kept mutually coherent: min <= winner's count <= max, zero-vote
+    # trials pin the min (and the winner's certificate) at zero.
+    min_raw = np.empty(b_sz, dtype=np.int64)
+    max_raw = np.empty(b_sz, dtype=np.int64)
+    win_raw = np.empty(b_sz, dtype=np.int64)
+    for val, marg in marginals.items():
+        grp = n_a == val
+        min_raw[grp] = marg.sample_min(rng, n_a[grp] - zero_votes[grp])
+        max_raw[grp] = marg.sample_max(rng, n_a[grp])
+        win_raw[grp] = marg.sample_nonzero(rng, int(grp.sum()))
+    nonzero_cells = n_a - zero_votes
+    min_votes = np.where(zero_votes > 0, 0, min_raw)
+    max_votes = np.maximum.reduce([
+        max_raw, min_votes, np.where(nonzero_cells > 0, 1, 0),
+    ])
+    winner_votes = np.where(
+        winner_zero, 0, np.clip(win_raw, np.maximum(min_votes, 1), max_votes)
+    )
+
+    # ------------------------------------------------------------------
+    # Commitment coverage (same marginal as the votes) and pull replies.
+    zero_pulls = rng.binomial(n_a, p0)
+    for val, marg in marginals.items():
+        grp = n_a == val
+        min_raw[grp] = marg.sample_min(rng, n_a[grp] - zero_pulls[grp])
+    min_pulls = np.where(zero_pulls > 0, 0, min_raw)
+
+    naq = n_a * q
+    p_reply = (n_a - 1) / (n - 1)
+    commit_replies = rng.binomial(naq, p_reply).astype(np.int64)
+    findmin_replies = rng.binomial(naq, p_reply).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Find-Min spread: exact Markov chain of the informed-set size
+    # (each uninformed active agent flips w.p. |I|/(n-1) per round).
+    informed = np.ones(b_sz, dtype=np.int64)
+    uninformed = n_a - 1
+    find_min_rounds = np.full(b_sz, -1, dtype=np.int64)
+    for rnd in range(1, q + 1):
+        # p only matters where uninformed > 0, which bounds |I| <= n-1;
+        # converged trials draw Binomial(0, .) so clip their p to 1.
+        newly = rng.binomial(uninformed, np.minimum(informed / (n - 1), 1.0))
+        informed += newly
+        uninformed -= newly
+        find_min_rounds[(find_min_rounds < 0) & (uninformed == 0)] = rnd
+        if (uninformed == 0).all():
+            break
+    agreement = find_min_rounds > 0
+
+    total_messages, total_bits, max_message_bits = _accounting(
+        params, n_a, winner_votes, max_votes, commit_replies,
+        findmin_replies,
+    )
+
+    return {
+        "n_active": n_a,
+        "winner": np.where(agreement, winner_idx, -1).astype(np.int64),
+        "min_votes": min_votes,
+        "max_votes": max_votes,
+        "k_collision": k_collision,
+        "find_min_agreement": agreement,
+        "find_min_rounds": find_min_rounds,
+        "min_commitment_pulls_received": min_pulls,
+        "total_messages": total_messages,
+        "total_bits": total_bits,
+        "max_message_bits": max_message_bits,
+    }
+
+
+def batch_from_runs(
+    runs: Sequence[FastRunResult], colors: Sequence[Hashable]
+) -> FastBatchResult:
+    """Assemble per-trial :class:`FastRunResult` objects into a batch.
+
+    Used by the dispatch layer's process-pool and agent-engine routes so
+    every tier returns the same struct-of-arrays interface.
+    """
+    colors = tuple(colors)
+    n = len(colors)
+
+    def arr(get, dtype):
+        return np.array([get(r) for r in runs], dtype=dtype)
+
+    return FastBatchResult(
+        n=n,
+        n_trials=len(runs),
+        rounds=runs[0].rounds if runs else 0,
+        colors=colors,
+        n_active=arr(lambda r: r.n_active, np.int64),
+        winner=arr(
+            lambda r: r.winner if r.winner is not None else -1, np.int64
+        ),
+        min_votes=arr(lambda r: r.min_votes, np.int64),
+        max_votes=arr(lambda r: r.max_votes, np.int64),
+        k_collision=arr(lambda r: r.k_collision, bool),
+        find_min_agreement=arr(lambda r: r.find_min_agreement, bool),
+        find_min_rounds=arr(lambda r: r.find_min_rounds, np.int64),
+        min_commitment_pulls_received=arr(
+            lambda r: r.min_commitment_pulls_received, np.int64
+        ),
+        total_messages=arr(lambda r: r.total_messages, np.int64),
+        total_bits=arr(lambda r: r.total_bits, np.int64),
+        max_message_bits=arr(lambda r: r.max_message_bits, np.int64),
+    )

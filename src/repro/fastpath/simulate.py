@@ -7,19 +7,24 @@ rounds.  Verification always passes (the agent-engine tests prove that)
 and Coherence only matters when Find-Min failed.  So the fastpath:
 
 1. draws all ``|A| * q`` votes at once and accumulates per-receiver sums
-   with exact int64 arithmetic (``np.add.at``; float bincount would lose
-   precision beyond 2^53),
+   with exact int64 arithmetic (a split-halves ``bincount``; a plain
+   float-weighted bincount would lose precision beyond 2^53),
 2. finds the winner as argmin of ``(k, label)``,
 3. simulates the q pull rounds of Find-Min as boolean-mask updates,
 4. prices messages analytically, using the winner's certificate size for
-   every certificate-bearing message (a documented simplification — the
-   exact per-message sizes vary with the sender's current minimum; the
-   agent engine provides exact totals and the cross-validation test keeps
-   the two within a small factor).
+   every certificate-bearing message (a documented simplification — see
+   DESIGN.md §2; the agent engine provides exact totals and the
+   cross-validation test keeps the two within a small factor).
 
 Integer-safety bound: per-receiver vote sums are ~``q`` values below
 ``m = n^3``; the global accumulation stays far under 2^63 for every n
 this simulator is asked to run (guarded by an explicit check).
+
+The random draws of one run are centralised in :func:`_draw_run` in a
+fixed order, shape and dtype.  The trial-axis batched engine
+(:mod:`repro.fastpath.batch`) replays exactly the same per-trial streams,
+which is what makes batched and per-run results bit-identical
+(`tests/test_fastpath_batch.py`).
 """
 
 from __future__ import annotations
@@ -35,6 +40,11 @@ from repro.util.rng import SeedTree
 __all__ = ["FastRunResult", "simulate_protocol_fast"]
 
 _PULL_TOPIC_BITS = 2
+
+# Above this many values in a single accumulation bin the split-halves
+# bincount could exceed 2^53 per bin and stop being exact; fall back to
+# np.add.at (exact, slower).  2^21 values of 2^32 - 1 each stay < 2^53.
+_EXACT_BINCOUNT_MAX_PER_BIN = 1 << 21
 
 
 @dataclass(frozen=True)
@@ -72,11 +82,68 @@ class FastRunResult:
         )
 
 
-def _sample_peers(rng: np.random.Generator, self_ids: np.ndarray,
-                  n: int, size: tuple[int, ...] | int) -> np.ndarray:
-    """Uniform peers over [n] \\ {self} for each row of ``self_ids``."""
-    raw = rng.integers(n - 1, size=size)
-    return raw + (raw >= self_ids)
+def _peer_dtype(n: int) -> np.dtype:
+    """Smallest unsigned dtype that holds every peer label in [0, n)."""
+    return np.dtype(np.uint16) if n <= (1 << 16) else np.dtype(np.uint32)
+
+
+def _draw_run(
+    rng: np.random.Generator, n: int, n_a: int, q: int, m: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All random draws of one run, in one fixed order.
+
+    Returns ``(targets_raw, vote_values, pulls_raw)`` where
+
+    * ``targets_raw`` — shape ``(2, n_a, q)``: Commitment pull targets
+      (row 0) and Voting push targets (row 1), raw in ``[0, n-1)`` (the
+      self-exclusion offset is applied later by :func:`_offset_self`);
+    * ``vote_values`` — shape ``(n_a, q)``: vote values in ``[0, m)``;
+    * ``pulls_raw`` — shape ``(q, n_a)``: Find-Min pull targets, raw.
+
+    Both the per-run and the batched fastpath draw through this helper,
+    so a trial's stream is identical in either engine.
+    """
+    dt = _peer_dtype(n)
+    targets_raw = rng.integers(n - 1, size=(2, n_a, q), dtype=dt)
+    vote_values = rng.integers(m, size=(n_a, q), dtype=np.int64)
+    pulls_raw = rng.integers(n - 1, size=(q, n_a), dtype=dt)
+    return targets_raw, vote_values, pulls_raw
+
+
+def _offset_self(raw: np.ndarray, self_ids: np.ndarray) -> np.ndarray:
+    """Map raw draws over [n-1] to uniform peers over [n] \\ {self}.
+
+    In-place on ``raw`` (an rng output we own); ``self_ids`` broadcasts
+    against it.
+    """
+    raw += (raw >= self_ids).astype(raw.dtype)
+    return raw
+
+
+def _exact_index_sums(
+    idx: np.ndarray, values: np.ndarray, length: int, max_bin_count: int
+) -> np.ndarray:
+    """Exact int64 scatter-add of ``values`` (int64, >= 0) into bins.
+
+    ``np.bincount`` accumulates weights in float64, which is only exact
+    while every bin total stays below 2^53.  Splitting each value into
+    32-bit halves guarantees that as long as no bin receives more than
+    ``_EXACT_BINCOUNT_MAX_PER_BIN`` values — then both half-sums are
+    integer-exact and recombine without loss.  The (never hit in
+    practice) oversized case falls back to ``np.add.at``.
+    """
+    if max_bin_count < _EXACT_BINCOUNT_MAX_PER_BIN:
+        if int(values.max(initial=0)) < 1 << 32:
+            # Values already fit one 32-bit half — one bincount suffices.
+            return np.bincount(
+                idx, weights=values, minlength=length
+            ).astype(np.int64)
+        lo = np.bincount(idx, weights=values & 0xFFFFFFFF, minlength=length)
+        hi = np.bincount(idx, weights=values >> 32, minlength=length)
+        return lo.astype(np.int64) + (hi.astype(np.int64) << 32)
+    sums = np.zeros(length, dtype=np.int64)
+    np.add.at(sums, idx, values)
+    return sums
 
 
 def simulate_protocol_fast(
@@ -103,23 +170,31 @@ def simulate_protocol_fast(
     if n_a == 0:
         raise ValueError("no active agent")
 
-    # ------------------------------------------------------------------
-    # Commitment phase: targets only matter for accounting and for the
-    # Lemma 6.1 coverage statistic (who got pulled how often).
-    commit_targets = _sample_peers(rng, act_idx[:, None], n, (n_a, q))
-    commit_replies = int(active[commit_targets].sum())
-    pulls_received = np.zeros(n, dtype=np.int64)
-    np.add.at(pulls_received, commit_targets.ravel(), 1)
-    min_pulls = int(pulls_received[act_idx].min())
+    targets_raw, vote_values, pulls_raw = _draw_run(rng, n, n_a, q, m)
+    targets = _offset_self(targets_raw, act_idx[None, :, None])
+    commit_targets, vote_targets = targets[0], targets[1]
+    pull_rounds = _offset_self(pulls_raw, act_idx[None, :])
 
     # ------------------------------------------------------------------
-    # Voting phase: all votes at once; exact integer accumulation.
-    vote_targets = _sample_peers(rng, act_idx[:, None], n, (n_a, q))
-    vote_values = rng.integers(m, size=(n_a, q), dtype=np.int64)
-    k_acc = np.zeros(n, dtype=np.int64)
-    counts = np.zeros(n, dtype=np.int64)
-    np.add.at(k_acc, vote_targets.ravel(), vote_values.ravel())
-    np.add.at(counts, vote_targets.ravel(), 1)
+    # Commitment phase: targets only matter for accounting and for the
+    # Lemma 6.1 coverage statistic (who got pulled how often); Voting
+    # phase: per-receiver counts.  One flattened bincount accumulates
+    # both (commitment targets in bins [0, n), vote targets in [n, 2n)).
+    commit_replies = int(active[commit_targets].sum())
+    both = np.concatenate(
+        [commit_targets.ravel(), vote_targets.ravel()]
+    ).astype(np.intp)
+    both[commit_targets.size:] += n
+    received = np.bincount(both, minlength=2 * n)
+    pulls_received, counts = received[:n], received[n:]
+    min_pulls = int(pulls_received[act_idx].min())
+
+    # Exact integer vote sums (see _exact_index_sums for the precision
+    # argument); k lives in [m].
+    k_acc = _exact_index_sums(
+        vote_targets.ravel().astype(np.intp), vote_values.ravel(), n,
+        int(counts.max()),
+    )
     k = k_acc % m
 
     k_active = k[act_idx]
@@ -133,18 +208,19 @@ def simulate_protocol_fast(
     # ------------------------------------------------------------------
     # Find-Min: pull gossip of the minimal certificate for exactly q
     # rounds (the schedule is fixed; agents keep pulling after local
-    # convergence, which matters for message accounting).
+    # convergence, which matters for message accounting — replies are
+    # therefore priced over all q rounds even though the informed set
+    # stops changing once everyone knows the minimum).
+    findmin_replies = int(active[pull_rounds].sum())
     informed = np.zeros(n, dtype=bool)
     informed[winner] = True
     find_min_rounds = -1
-    findmin_replies = 0
     for rnd in range(1, q + 1):
-        pulls = _sample_peers(rng, act_idx, n, n_a)
-        findmin_replies += int(active[pulls].sum())
-        informed[act_idx] |= informed[pulls]
-        if find_min_rounds < 0 and bool(informed[act_idx].all()):
+        informed[act_idx] |= informed[pull_rounds[rnd - 1]]
+        if bool(informed[act_idx].all()):
             find_min_rounds = rnd
-    agreement = bool(informed[act_idx].all())
+            break
+    agreement = find_min_rounds > 0
 
     outcome = colors[winner] if agreement else None
 

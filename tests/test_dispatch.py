@@ -1,0 +1,106 @@
+"""Tests for the trial-batch dispatch layer (``run_trials_fast``)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.dispatch import choose_engine, run_trials_fast
+from repro.fastpath.batch import simulate_protocol_fast_batch
+from tests.conftest import two_color_split
+
+
+class TestRouting:
+    def test_auto_prefers_batch(self):
+        assert choose_engine(256, 1000) == "batch"
+        assert choose_engine(64, 1) == "batch"
+        # Giant n stays on the batch engine too: its statistical mode
+        # never materialises per-pull tensors, so the process pool
+        # would only multiply memory by the worker count.
+        assert choose_engine(1 << 15, 10, max_chunk_elements=1000) == "batch"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_trials_fast(two_color_split(8, 0.5), [1], engine="warp")
+
+
+class TestEngineAgreement:
+    """Every per-trial-exact engine returns the same batch."""
+
+    def test_process_pool_equals_parity_batch(self):
+        colors = two_color_split(48, 0.5)
+        seeds = list(range(14))
+        batch = run_trials_fast(colors, seeds, engine="batch-parity")
+        pooled = run_trials_fast(
+            colors, seeds, engine="process", parallel=False
+        )
+        for field in ("winner", "min_votes", "max_votes", "k_collision",
+                      "find_min_rounds", "total_messages", "total_bits"):
+            assert np.array_equal(
+                getattr(batch, field), getattr(pooled, field)
+            ), field
+
+    def test_process_pool_ragged_faults(self):
+        colors = two_color_split(36, 0.5)
+        seeds = list(range(6))
+        faulty = [frozenset(range(i)) for i in range(6)]
+        batch = run_trials_fast(
+            colors, seeds, gamma=4.0, faulty=faulty, engine="batch-parity"
+        )
+        pooled = run_trials_fast(
+            colors, seeds, gamma=4.0, faulty=faulty, engine="process",
+            parallel=False,
+        )
+        assert np.array_equal(batch.winner, pooled.winner)
+        assert np.array_equal(batch.n_active, pooled.n_active)
+
+    def test_fault_list_length_checked(self):
+        with pytest.raises(ValueError, match="fault sets"):
+            run_trials_fast(
+                two_color_split(8, 0.5), [1, 2], faulty=[frozenset()],
+                engine="process", parallel=False,
+            )
+
+
+class TestAgentEngine:
+    """The exact agent engine behind the same batch interface."""
+
+    def test_agent_engine_smoke(self):
+        colors = two_color_split(16, 0.5)
+        batch = run_trials_fast(
+            colors, list(range(5)), gamma=2.0, engine="agent",
+            parallel=False,
+        )
+        assert batch.n_trials == 5
+        assert batch.success_rate() == 1.0
+        assert set(batch.outcomes()) <= {"red", "blue"}
+        # Fields the agent engine does not observe are sentinel -1.
+        assert (batch.find_min_rounds == -1).all()
+        assert (batch.min_commitment_pulls_received == -1).all()
+
+    def test_agent_engine_message_totals_match_fastpath(self):
+        colors = two_color_split(16, 0.5)
+        seeds = list(range(4))
+        agent = run_trials_fast(
+            colors, seeds, gamma=2.0, engine="agent", parallel=False
+        )
+        fast = run_trials_fast(colors, seeds, gamma=2.0,
+                               engine="batch-parity")
+        assert np.array_equal(agent.total_messages, fast.total_messages)
+
+
+class TestStatisticalEngine:
+    def test_default_engine_is_deterministic(self):
+        colors = two_color_split(64, 0.5)
+        seeds = list(range(40))
+        a = run_trials_fast(colors, seeds)
+        b = run_trials_fast(colors, seeds)
+        assert np.array_equal(a.winner, b.winner)
+        assert np.array_equal(a.total_bits, b.total_bits)
+
+    def test_default_engine_matches_batch_call(self):
+        colors = two_color_split(64, 0.5)
+        seeds = list(range(40))
+        a = run_trials_fast(colors, seeds, engine="batch")
+        b = simulate_protocol_fast_batch(colors, seeds)
+        assert np.array_equal(a.winner, b.winner)
