@@ -1,0 +1,151 @@
+"""Declarative effect specs: what a strategy *does* to a run's tensors.
+
+Every strategy in :mod:`repro.agents` is implemented twice:
+
+* as a :class:`~repro.agents.base.DeviantAgent` subclass driving the
+  message-level agent engine (tier 1), and
+* as a set of *vectorised effects* on the batched trial tensors of the
+  strategy fastpath (:mod:`repro.fastpath.strategies`, tier 3).
+
+The :class:`EffectSpec` is the shared contract between the two: a purely
+declarative record of which protocol obligations the coalition honours
+(answering Commitment pulls, casting the declared votes, serving
+Find-Min, pushing in Coherence) and which forgery it attempts.  The
+strategy registry in :mod:`repro.agents.plans` binds one spec to each
+agent class, so both tiers are compiled from one source of truth and the
+cross-tier conformance matrix (``tests/test_strategy_conformance.py``)
+can hold them to the same verdicts.
+
+The spec describes *intent*; the detection machinery (which verifier
+fails, Lemma 6's exposure event for the pooled attack) is derived from
+the sampled pull/vote tensors by the strategy fastpath and from the
+actual message flow by the agent engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EffectSpec", "EFFECT_SPECS"]
+
+
+@dataclass(frozen=True)
+class EffectSpec:
+    """How coalition members deviate, phase by phase.
+
+    Commitment
+    ----------
+    ``pulls_commitment``
+        Member initiates its own Commitment pulls (accounting + ledger
+        building; a member's ledger never matters for the outcome).
+    ``answers_commitment``
+        ``False`` makes every puller mark the member faulty (footnote 4)
+        and expect zero votes from it.
+    ``equivocates``
+        Answer pulls with two alternating intention versions (A first);
+        votes follow version A.
+
+    Voting
+    ------
+    ``casts_votes``
+        ``False`` drops all of the member's vote pushes.
+    ``fresh_vote_values`` / ``fresh_vote_targets``
+        Push freshly drawn values / targets instead of the declared ones
+        (the vote-switch family).
+    ``intra_fraction``
+        Fraction of the member's votes re-aimed at fellow members
+        round-robin (the pooled attack's pre-coordination); targets are
+        rewritten *and declared consistently*.
+
+    Find-Min / forgery
+    ------------------
+    ``forge``
+        ``None`` for honest certificates, or one of the underbid modes
+        (``alter`` / ``drop_all`` / ``fabricate`` / ``klie``) applied by
+        every member to its own certificate, or ``pooled`` for the
+        adaptive exposure-gated coalition forgery (Lemma 6).
+    ``pooled_gamble``
+        Pooled fallback: when every member is exposed, recklessly alter
+        an honest vote instead of playing honest.
+    ``serves_findmin``
+        ``False``: certificate pulls aimed at the member time out.
+    ``pulls_findmin``
+        ``False``: the member initiates no Find-Min pulls (its own
+        adoption never affects honest agents either way; forgers pull
+        but never adopt).
+
+    Coherence
+    ---------
+    ``coherence_push``
+        ``"honest"`` — push the member's current minimum (which is the
+        forged certificate when one exists); ``"none"`` — stay silent;
+        ``"bogus"`` — push a fresh empty k=0 certificate (griefing).
+    """
+
+    name: str
+    # Commitment
+    pulls_commitment: bool = True
+    answers_commitment: bool = True
+    equivocates: bool = False
+    # Voting
+    casts_votes: bool = True
+    fresh_vote_values: bool = False
+    fresh_vote_targets: bool = False
+    intra_fraction: float = 0.0
+    # Find-Min
+    forge: str | None = None
+    pooled_gamble: bool = False
+    serves_findmin: bool = True
+    pulls_findmin: bool = True
+    # Coherence
+    coherence_push: str = "honest"
+
+    def __post_init__(self) -> None:
+        if self.coherence_push not in ("honest", "none", "bogus"):
+            raise ValueError(
+                f"unknown coherence_push {self.coherence_push!r}"
+            )
+        known_forge = (None, "alter", "drop_all", "fabricate", "klie",
+                       "pooled")
+        if self.forge not in known_forge:
+            raise ValueError(f"unknown forge mode {self.forge!r}")
+        if not 0.0 <= self.intra_fraction <= 1.0:
+            raise ValueError("intra_fraction must lie in [0, 1]")
+
+
+#: One spec per registered strategy name (the registry in
+#: :mod:`repro.agents.plans` attaches these to the plans it builds).
+EFFECT_SPECS: dict[str, EffectSpec] = {
+    "honest_shadow": EffectSpec(name="honest_shadow"),
+    "silent": EffectSpec(
+        name="silent",
+        pulls_commitment=False, answers_commitment=False,
+        casts_votes=False, serves_findmin=False, pulls_findmin=False,
+        coherence_push="none",
+    ),
+    "pretend_faulty": EffectSpec(
+        name="pretend_faulty", answers_commitment=False,
+    ),
+    "underbid_alter": EffectSpec(name="underbid_alter", forge="alter"),
+    "underbid_drop": EffectSpec(name="underbid_drop", forge="drop_all"),
+    "underbid_fabricate": EffectSpec(
+        name="underbid_fabricate", forge="fabricate",
+    ),
+    "underbid_klie": EffectSpec(name="underbid_klie", forge="klie"),
+    "equivocate": EffectSpec(name="equivocate", equivocates=True),
+    "vote_switch": EffectSpec(name="vote_switch", fresh_vote_values=True),
+    "vote_switch_targets": EffectSpec(
+        name="vote_switch_targets",
+        fresh_vote_values=True, fresh_vote_targets=True,
+    ),
+    "griefing": EffectSpec(name="griefing", coherence_push="bogus"),
+    "findmin_suppress": EffectSpec(
+        name="findmin_suppress",
+        serves_findmin=False, pulls_findmin=False, coherence_push="none",
+    ),
+    "pooled": EffectSpec(name="pooled", forge="pooled", intra_fraction=0.5),
+    "pooled_gamble": EffectSpec(
+        name="pooled_gamble", forge="pooled", intra_fraction=0.5,
+        pooled_gamble=True,
+    ),
+}

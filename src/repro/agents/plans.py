@@ -15,6 +15,7 @@ from typing import Any, Callable, Hashable
 
 from repro.agents.base import DeviantAgent
 from repro.agents.coalition import CoalitionState
+from repro.agents.effects import EFFECT_SPECS, EffectSpec
 from repro.agents.equivocate import EquivocatingAgent
 from repro.agents.griefing import GriefingAgent
 from repro.agents.pooled import PooledAttackAgent, PooledState
@@ -32,7 +33,14 @@ __all__ = ["StrategyPlan", "plan", "STRATEGY_NAMES"]
 
 @dataclass
 class StrategyPlan:
-    """members + agent class + kwargs, satisfying ``DeviationPlan``."""
+    """members + agent class + kwargs, satisfying ``DeviationPlan``.
+
+    ``effects`` is the declarative counterpart of ``agent_cls``: the
+    same strategy expressed as vectorised effects on trial tensors,
+    consumed by the batched strategy engine
+    (:mod:`repro.fastpath.strategies`).  Both are bound here so the two
+    simulation tiers are compiled from one registry entry.
+    """
 
     members: frozenset[int]
     agent_cls: type[DeviantAgent]
@@ -40,6 +48,7 @@ class StrategyPlan:
     agent_kwargs: dict[str, Any] = field(default_factory=dict)
     state_kwargs: dict[str, Any] = field(default_factory=dict)
     name: str = ""
+    effects: EffectSpec | None = None
 
     def build_shared(self, params: ProtocolParams, tree: SeedTree) -> object:
         shared = self.state_cls(params, self.members, tree)
@@ -105,4 +114,5 @@ def plan(strategy: str, members: frozenset[int] | set[int]) -> StrategyPlan:
         ) from None
     built = factory(frozenset(members))
     built.name = strategy
+    built.effects = EFFECT_SPECS[strategy]
     return built

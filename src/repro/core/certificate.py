@@ -15,12 +15,19 @@ secure channels attach sender labels.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Hashable, Iterable
+from typing import TYPE_CHECKING, Hashable, Iterable, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.params import ProtocolParams
 
 __all__ = ["ReceivedVote", "Certificate", "CertificatePayload", "compute_k"]
+
+# Transport framing: the vote-count prefix of the wire encoding.  It is
+# *not* part of the paper's bit-size model (``certificate_bits`` prices
+# the payload fields only); the codec exists so certificates — the one
+# object deviating strategies forge — have a canonical, property-tested
+# serialisation.
+_COUNT_BITS = 16
 
 
 @dataclass(frozen=True)
@@ -69,6 +76,95 @@ class Certificate:
         """Assemble an honest certificate from received votes."""
         votes = tuple(sorted(votes, key=lambda v: (v.round_index, v.voter)))
         return Certificate(compute_k(votes, m), votes, color, owner)
+
+    # -- wire codec ---------------------------------------------------------
+    def encode(self, params: "ProtocolParams",
+               palette: Sequence[Hashable]) -> bytes:
+        """Bit-pack ``(|W|, k, W, c, owner)`` under the paper's widths.
+
+        ``palette`` is the ordered color space Σ (colors are Hashable
+        objects in memory; on the wire they are indices into Σ).  The
+        encoded length is ``16 + size_bits(params)`` bits, zero-padded
+        to a whole byte: a 16-bit vote-count frame plus exactly the
+        fields :meth:`size_bits` prices.  Out-of-domain fields raise
+        ``ValueError`` — a certificate that cannot be encoded could
+        never have crossed the wire.
+        """
+        try:
+            color_index = palette.index(self.color)
+        except ValueError:
+            raise ValueError(
+                f"color {self.color!r} not in the palette"
+            ) from None
+        fields: list[tuple[int, int, str]] = [
+            (len(self.votes), _COUNT_BITS, "vote count"),
+            (self.k, params.vote_bits, "k"),
+        ]
+        for v in self.votes:
+            fields.append((v.voter, params.label_bits, "voter"))
+            fields.append((v.round_index, params.round_bits, "round index"))
+            fields.append((v.value, params.vote_bits, "vote value"))
+        fields.append((color_index, params.color_bits, "color"))
+        fields.append((self.owner, params.label_bits, "owner"))
+
+        acc = 0
+        nbits = 0
+        for value, width, name in fields:
+            if not 0 <= value < (1 << width):
+                raise ValueError(
+                    f"{name} {value} does not fit {width} bits"
+                )
+            acc = (acc << width) | value
+            nbits += width
+        nbytes = (nbits + 7) // 8
+        acc <<= nbytes * 8 - nbits     # zero padding in the low bits
+        return acc.to_bytes(nbytes, "big")
+
+    @staticmethod
+    def decode(data: bytes, params: "ProtocolParams",
+               palette: Sequence[Hashable]) -> "Certificate":
+        """Inverse of :meth:`encode` (raises ``ValueError`` on any
+        length mismatch or out-of-palette color index)."""
+        if len(data) < (_COUNT_BITS + 7) // 8:
+            raise ValueError("certificate frame shorter than its header")
+        total = int.from_bytes(data, "big")
+        avail = len(data) * 8
+        pos = 0
+
+        def take(width: int) -> int:
+            nonlocal pos
+            if pos + width > avail:
+                raise ValueError("truncated certificate frame")
+            pos += width
+            return (total >> (avail - pos)) & ((1 << width) - 1)
+
+        num_votes = take(_COUNT_BITS)
+        per_vote = params.label_bits + params.round_bits + params.vote_bits
+        expected = (
+            _COUNT_BITS + params.vote_bits + num_votes * per_vote
+            + params.color_bits + params.label_bits
+        )
+        if (expected + 7) // 8 != len(data):
+            raise ValueError(
+                f"frame of {len(data)} bytes does not match the declared "
+                f"{num_votes} votes"
+            )
+        k = take(params.vote_bits)
+        votes = tuple(
+            ReceivedVote(
+                take(params.label_bits), take(params.round_bits),
+                take(params.vote_bits),
+            )
+            for _ in range(num_votes)
+        )
+        color_index = take(params.color_bits)
+        owner = take(params.label_bits)
+        if color_index >= len(palette):
+            raise ValueError(f"color index {color_index} outside Σ")
+        pad = avail - pos
+        if pad and (total & ((1 << pad) - 1)):
+            raise ValueError("nonzero padding bits")
+        return Certificate(k, votes, palette[color_index], owner)
 
 
 @dataclass(frozen=True)

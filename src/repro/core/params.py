@@ -8,7 +8,7 @@ parameter α).  Derived quantities:
   distinct w.h.p. (Lemma 3.2);
 * ``q = ceil(gamma * log2 n)`` — the length, in rounds, of each
   communication phase.  The paper writes ``γ log n``; we fix base 2 and
-  absorb the base change into γ (documented in DESIGN.md §5);
+  absorb the base change into γ (documented in DESIGN.md §6);
 * a fixed schedule of four communication phases of ``q`` rounds each
   (Voting-Intention and Verification are local computations and consume
   no rounds), so a run lasts exactly ``4q = O(log n)`` rounds.

@@ -21,7 +21,17 @@ E10          conclusions — other graphs; sequential GOSSIP
 """
 
 from repro.experiments import workloads
-from repro.experiments.dispatch import choose_engine, run_trials_fast
+from repro.experiments.dispatch import (
+    choose_engine,
+    run_deviation_trials_fast,
+    run_trials_fast,
+)
 from repro.experiments.runner import run_trials
 
-__all__ = ["choose_engine", "run_trials", "run_trials_fast", "workloads"]
+__all__ = [
+    "choose_engine",
+    "run_deviation_trials_fast",
+    "run_trials",
+    "run_trials_fast",
+    "workloads",
+]

@@ -27,12 +27,23 @@ is bounded (fixed-size blocks of (block, n) arrays) for every n the
 int64 guards allow, so there is no workload where the per-trial
 fallbacks win — they exist as explicit opt-ins for verification and
 debugging.  See DESIGN.md §3 for the tier fidelity contract.
+
+:func:`run_deviation_trials_fast` is the corresponding front door for
+the *deviation* experiments (E7–E9): paired honest/deviant workloads
+routed to the vectorised strategy tier (``batch-strategy``, the
+default) or to the exact agent engine (``process``/``agent``), always
+returning a :class:`repro.fastpath.strategies.StrategyBatchResult`.
+See DESIGN.md §5 for the strategy tier's fidelity contract.
 """
 
 from __future__ import annotations
 
 from typing import Hashable, Iterable, Sequence
 
+import numpy as np
+
+from repro.agents.plans import plan as make_plan
+from repro.core.defenses import FULL_DEFENSES, Defenses
 from repro.core.protocol import ProtocolConfig, run_protocol
 from repro.experiments.runner import run_trials
 from repro.fastpath.batch import (
@@ -41,10 +52,19 @@ from repro.fastpath.batch import (
     simulate_protocol_fast_batch,
 )
 from repro.fastpath.simulate import FastRunResult, simulate_protocol_fast
+from repro.fastpath.strategies import (
+    StrategyBatchResult,
+    simulate_strategy_fast_batch,
+)
 
-__all__ = ["choose_engine", "run_trials_fast"]
+__all__ = [
+    "choose_engine",
+    "run_deviation_trials_fast",
+    "run_trials_fast",
+]
 
 _ENGINES = ("auto", "batch", "batch-parity", "process", "agent")
+_DEVIATION_ENGINES = ("auto", "batch-strategy", "process", "agent")
 
 
 def choose_engine(
@@ -145,3 +165,161 @@ def run_trials_fast(
         max_workers=max_workers,
     )
     return batch_from_runs(runs, colors)
+
+
+# ---------------------------------------------------------------------------
+# Deviation (coalition strategy) workloads
+# ---------------------------------------------------------------------------
+
+def _run_result_to_fast(
+    res, colors: tuple[Hashable, ...], n_faulty: int
+) -> FastRunResult:
+    """Compact a ``RunResult`` into the batch record shape.
+
+    When the engine reports a winning color without a unique
+    certificate owner (same-color certificates from different owners),
+    ``winner`` falls back to the smallest owner among the followers'
+    final certificates — the same representative the strategy fastpath
+    uses.
+    """
+    winner = res.winner
+    if winner is None and res.outcome is not None:
+        nodes = res.extras.get("nodes", {})
+        owners = [
+            nodes[i].min_certificate.owner
+            for i in res.decisions
+            if i in nodes
+            and getattr(nodes[i], "min_certificate", None) is not None
+        ]
+        winner = min(owners) if owners else next(
+            i for i, c in enumerate(colors) if c == res.outcome
+        )
+    return FastRunResult(
+        n=res.n,
+        n_active=res.n - n_faulty,
+        outcome=res.outcome,
+        winner=winner,
+        rounds=res.rounds,
+        min_votes=res.good.min_votes,
+        max_votes=res.good.max_votes,
+        k_collision=res.good.k_collision,
+        find_min_agreement=res.good.find_min_agreement,
+        find_min_rounds=-1,                   # not observed by the engine
+        min_commitment_pulls_received=-1,     # not observed by the engine
+        total_messages=res.metrics.total_messages,
+        total_bits=res.metrics.total_bits,
+        max_message_bits=res.metrics.max_message_bits,
+    )
+
+
+def _deviation_worker(
+    args: tuple[tuple[Hashable, ...], float, str | None, tuple[int, ...],
+                tuple[int, ...], Defenses, int]
+) -> tuple[FastRunResult, FastRunResult, bool, bool, bool, int]:
+    """One paired (honest, deviant) agent-engine trial."""
+    colors, gamma, strategy, members, faulty, defenses, seed = args
+    faulty_set = frozenset(faulty)
+    honest_res = run_protocol(ProtocolConfig(
+        colors=list(colors), gamma=gamma, faulty=faulty_set, seed=seed,
+        defenses=defenses,
+    ))
+    deviation = (
+        make_plan(strategy, frozenset(members)) if strategy and members
+        else None
+    )
+    dev_res = run_protocol(ProtocolConfig(
+        colors=list(colors), gamma=gamma, faulty=faulty_set, seed=seed,
+        deviation=deviation, defenses=defenses,
+    ))
+    decided = set(dev_res.decisions.values())
+    split = (
+        dev_res.outcome is None and None not in decided and len(decided) > 1
+    )
+    detected = bool(dev_res.failed_agents)
+    forged = False
+    exposed = 0
+    for node in dev_res.extras.get("nodes", {}).values():
+        shared = getattr(node, "shared", None)
+        if shared is not None:
+            exposure = getattr(shared, "exposure", None)
+            if exposure is not None:
+                exposed = sum(1 for pullers in exposure.values() if pullers)
+            if getattr(shared, "forged", None) is not None:
+                forged = True
+        if getattr(node, "forged", None) is not None:
+            forged = True
+    return (
+        _run_result_to_fast(honest_res, colors, len(faulty_set)),
+        _run_result_to_fast(dev_res, colors, len(faulty_set)),
+        detected, split, forged, exposed,
+    )
+
+
+def run_deviation_trials_fast(
+    colors: Sequence[Hashable],
+    seeds: Sequence[int],
+    strategy: str | None,
+    members: Iterable[int] = frozenset(),
+    *,
+    gamma: float = 3.0,
+    faulty: frozenset[int] = frozenset(),
+    defenses: Defenses = FULL_DEFENSES,
+    engine: str = "auto",
+    parallel: bool = True,
+    max_workers: int | None = None,
+) -> StrategyBatchResult:
+    """Run one paired honest/deviant Monte-Carlo workload.
+
+    Engines:
+
+    ``batch-strategy``
+        The vectorised strategy tier
+        (:func:`repro.fastpath.strategies.simulate_strategy_fast_batch`)
+        — the default via ``auto``; simulates both runs of every paired
+        trial on shared draws.
+    ``process`` / ``agent``
+        The exact agent engine, two ``run_protocol`` calls per seed
+        (paired via the shared seed tree), fanned over the process pool
+        or run inline.  The two per-trial fields the engine does not
+        observe are ``-1`` sentinels, as in :func:`run_trials_fast`.
+
+    Returns a :class:`~repro.fastpath.strategies.StrategyBatchResult`
+    regardless of engine.
+    """
+    if engine not in _DEVIATION_ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; known: {_DEVIATION_ENGINES}"
+        )
+    colors = tuple(colors)
+    seeds = [int(s) for s in seeds]
+    members = frozenset(members)
+    if engine == "auto":
+        engine = "batch-strategy"
+    if engine == "batch-strategy":
+        return simulate_strategy_fast_batch(
+            colors, seeds, strategy, members, gamma=gamma, faulty=faulty,
+            defenses=defenses,
+        )
+
+    args = [
+        (colors, gamma, strategy, tuple(sorted(members)),
+         tuple(sorted(faulty)), defenses, s)
+        for s in seeds
+    ]
+    rows = run_trials(
+        _deviation_worker, args,
+        parallel=(parallel and engine == "process"),
+        max_workers=max_workers,
+    )
+    honest_runs = [r[0] for r in rows]
+    dev_runs = [r[1] for r in rows]
+    return StrategyBatchResult(
+        strategy=strategy or "honest_shadow",
+        members=tuple(sorted(members)),
+        honest=batch_from_runs(honest_runs, colors),
+        deviant=batch_from_runs(dev_runs, colors),
+        detected=np.array([r[2] for r in rows], dtype=bool),
+        split=np.array([r[3] for r in rows], dtype=bool),
+        forged=np.array([r[4] for r in rows], dtype=bool),
+        exposed_members=np.array([r[5] for r in rows], dtype=np.int64),
+    )

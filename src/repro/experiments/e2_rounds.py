@@ -51,7 +51,7 @@ def run(opts: E2Options = E2Options()) -> tuple[Table, Table]:
             engine=opts.engine, parallel=opts.parallel,
         )
         rounds = batch.rounds
-        fm = batch.find_min_rounds[batch.find_min_rounds >= 0]
+        fm = batch.observed_find_min_rounds()
         agree = int(batch.find_min_agreement.sum())
         mean_fm, _ = mean_ci(fm) if fm.size else (float("nan"), 0.0)
         main.add_row(

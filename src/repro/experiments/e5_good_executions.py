@@ -57,6 +57,6 @@ def run(opts: E5Options = E5Options()) -> Table:
                 n, gamma, good / opts.trials, lo, collisions,
                 f"{agreed}/{opts.trials}",
                 int(batch.min_votes.min()),
-                int(batch.min_commitment_pulls_received.min()),
+                batch.min_commitment_pulls_seen(),
             )
     return table

@@ -3,7 +3,8 @@
 Setup: a red-majority network; the coalition is the first ``t``
 supporters of the minority color (maximally aligned incentives: every
 member wants "blue" to win).  For each strategy and coalition size we
-estimate, with *paired seeds*:
+estimate, with *paired trials* (honest and deviating runs evaluated on
+shared randomness):
 
 * the coalition color's winning probability under honest play and under
   the deviation,
@@ -15,18 +16,21 @@ Theorem 7's prediction: gain <= 0 up to Monte-Carlo noise, for *every*
 strategy and size — deviations either trigger failure (negative gain) or
 leave the distribution untouched (zero gain).  The griefing row shows a
 large negative gain: sabotage is easy, profit is not.
+
+Trials are routed through :func:`run_deviation_trials_fast`: the
+default ``batch-strategy`` engine runs the whole strategy × size grid
+vectorised (thousands of paired trials per cell in seconds — see
+``benchmarks/bench_strategies.py``); ``engine="agent"`` replays the
+grid on the exact agent engine for fidelity checks.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Sequence
+from typing import Sequence
 
-from repro.agents.plans import plan
-from repro.analysis.equilibrium import estimate_utility, gain
-from repro.analysis.stats import mean_ci
-from repro.core.protocol import ProtocolConfig, run_protocol
-from repro.experiments.runner import run_trials
+from repro.analysis.equilibrium import estimate_utility
+from repro.experiments.dispatch import run_deviation_trials_fast
 from repro.experiments.workloads import skewed
 from repro.util.tables import Table
 
@@ -57,6 +61,7 @@ class E7Options:
     gamma: float = 2.5
     chi: float = 1.0
     seed: int = 7707
+    engine: str = "auto"             # auto -> batch-strategy
     parallel: bool = True
 
     def colors(self) -> list[str]:
@@ -67,26 +72,6 @@ class E7Options:
         if t > len(blues):
             raise ValueError(f"coalition size {t} exceeds blue supporters")
         return frozenset(blues[:t])
-
-
-def _honest_trial(args: tuple[int, float, float, int]) -> Hashable | None:
-    n, minority, gamma, seed = args
-    colors = skewed(n, minority=minority)
-    return run_protocol(
-        ProtocolConfig(colors=colors, gamma=gamma, seed=seed)
-    ).outcome
-
-
-def _deviant_trial(
-    args: tuple[int, float, float, str, tuple[int, ...], int]
-) -> Hashable | None:
-    n, minority, gamma, strategy, members, seed = args
-    colors = skewed(n, minority=minority)
-    cfg = ProtocolConfig(
-        colors=colors, gamma=gamma, seed=seed,
-        deviation=plan(strategy, frozenset(members)),
-    )
-    return run_protocol(cfg).outcome
 
 
 def run(opts: E7Options = E7Options()) -> Table:
@@ -100,34 +85,23 @@ def run(opts: E7Options = E7Options()) -> Table:
             f"trials = {opts.trials}"
         ),
     )
+    colors = opts.colors()
     seeds = [opts.seed + 23 * i for i in range(opts.trials)]
-
-    honest_args = [(opts.n, opts.minority, opts.gamma, s) for s in seeds]
-    honest_outcomes = run_trials(
-        _honest_trial, honest_args, parallel=opts.parallel
-    )
-    honest_u = estimate_utility(honest_outcomes, "blue", chi=opts.chi)
 
     for strategy in opts.strategies:
         for t in opts.coalition_sizes:
-            members = tuple(sorted(opts.members(t)))
-            dev_args = [
-                (opts.n, opts.minority, opts.gamma, strategy, members, s)
-                for s in seeds
-            ]
-            dev_outcomes = run_trials(
-                _deviant_trial, dev_args, parallel=opts.parallel
+            res = run_deviation_trials_fast(
+                colors, seeds, strategy, opts.members(t),
+                gamma=opts.gamma, engine=opts.engine,
+                parallel=opts.parallel,
             )
-            dev_u = estimate_utility(dev_outcomes, "blue", chi=opts.chi)
-            g = gain(honest_u, dev_u)
-            # CI of the paired utility difference.
-            per_seed = [
-                (1.0 if d == "blue" else 0.0) - opts.chi * (1.0 if d is None else 0.0)
-                - (1.0 if h == "blue" else 0.0)
-                + opts.chi * (1.0 if h is None else 0.0)
-                for h, d in zip(honest_outcomes, dev_outcomes)
-            ]
-            _, half = mean_ci(per_seed)
+            honest_u = estimate_utility(
+                res.honest.outcomes(), "blue", chi=opts.chi
+            )
+            dev_u = estimate_utility(
+                res.deviant.outcomes(), "blue", chi=opts.chi
+            )
+            g, half = res.paired_gain("blue", chi=opts.chi)
             table.add_row(
                 strategy, t, honest_u.win_prob, dev_u.win_prob,
                 honest_u.fail_prob, dev_u.fail_prob, g, half,

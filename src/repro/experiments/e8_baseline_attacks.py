@@ -16,11 +16,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.agents.plans import plan
 from repro.analysis.stats import mean_ci, wilson_interval
 from repro.baselines.naive_gossip import run_naive_gossip
 from repro.baselines.polling import run_polling
-from repro.core.protocol import ProtocolConfig, run_protocol
+from repro.core.params import ProtocolParams
+from repro.experiments.dispatch import run_deviation_trials_fast
 from repro.experiments.runner import run_trials
 from repro.experiments.workloads import skewed
 from repro.util.tables import Table
@@ -35,6 +35,7 @@ class E8Options:
     trials: int = 100
     gamma: float = 3.0
     seed: int = 8808
+    engine: str = "auto"    # Protocol-P rows: auto -> batch-strategy
     parallel: bool = True
     # Second size for the round-scaling comparison: polling's Theta(n)
     # absorption versus P's O(log n) schedule only separates at scale.
@@ -57,18 +58,6 @@ def _polling_trial(args: tuple[int, float, int, bool]) -> tuple[bool, bool, int]
     stub = frozenset({blue0}) if stubborn else frozenset()
     res = run_polling(colors, seed=seed, stubborn=stub)
     return res.outcome == "blue", not res.converged, res.rounds
-
-
-def _protocol_trial(args: tuple[int, float, float, int, str | None]) -> tuple[bool, bool]:
-    n, minority, gamma, seed, strategy = args
-    colors = skewed(n, minority=minority)
-    blue0 = colors.index("blue")
-    deviation = plan(strategy, frozenset({blue0})) if strategy else None
-    res = run_protocol(
-        ProtocolConfig(colors=colors, gamma=gamma, seed=seed,
-                       deviation=deviation)
-    )
-    return res.outcome == "blue", res.outcome is None
 
 
 def run(opts: E8Options = E8Options()) -> Table:
@@ -111,20 +100,22 @@ def run(opts: E8Options = E8Options()) -> Table:
         table.add_row("HP polling", label, wins / opts.trials,
                       ci(wins), fails / opts.trials, rounds)
 
-    # Protocol P: honest, then its strongest single lying attack.
-    for strategy, label in ((None, "none (honest)"),
-                            ("underbid_alter", "forged-certificate")):
-        rows = run_trials(
-            _protocol_trial,
-            [(opts.n, opts.minority, opts.gamma, s, strategy) for s in seeds],
-            parallel=opts.parallel,
-        )
-        wins = sum(1 for w, _ in rows if w)
-        fails = sum(1 for _, f in rows if f)
-        params_rounds = run_protocol(
-            ProtocolConfig(colors=skewed(opts.n, minority=opts.minority),
-                           gamma=opts.gamma, seed=opts.seed)
-        ).rounds
+    # Protocol P: honest, then its strongest single lying attack — one
+    # paired workload on the strategy tier (or the agent engine).
+    colors = skewed(opts.n, minority=opts.minority)
+    blue0 = colors.index("blue")
+    res = run_deviation_trials_fast(
+        colors, seeds, "underbid_alter", {blue0}, gamma=opts.gamma,
+        engine=opts.engine, parallel=opts.parallel,
+    )
+    params_rounds = ProtocolParams(
+        n=opts.n, gamma=opts.gamma, num_colors=len(set(colors))
+    ).total_rounds
+    for batch, label in ((res.honest, "none (honest)"),
+                         (res.deviant, "forged-certificate")):
+        outcomes = batch.outcomes()
+        wins = sum(1 for o in outcomes if o == "blue")
+        fails = sum(1 for o in outcomes if o is None)
         table.add_row("Protocol P", label, wins / opts.trials,
                       ci(wins), fails / opts.trials, float(params_rounds))
 
@@ -137,7 +128,6 @@ def run(opts: E8Options = E8Options()) -> Table:
         parallel=opts.parallel,
     )
     poll_rounds, _ = mean_ci([r for _, _, r in poll_rows])
-    from repro.core.params import ProtocolParams
     p_rounds = ProtocolParams(n=big, gamma=opts.gamma).total_rounds
     table.add_row(f"HP polling @ n={big}", "none (honest)", None, None,
                   None, poll_rounds)

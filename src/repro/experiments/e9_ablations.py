@@ -19,16 +19,21 @@ high->low gamma        pooled                 attack win rate rises as
 commitment             pooled                 attacker WINS outright
                                               (nobody is ever exposed)
 =====================  =====================  ============================
+
+Every row is one paired workload on
+:func:`run_deviation_trials_fast`; the default ``batch-strategy``
+engine honours all defence toggles, which makes the γ-sweep tractable
+at sizes the agent engine cannot reach (``pooled_gammas`` +
+``engine="auto"`` at n in the thousands).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
-from repro.agents.plans import plan
 from repro.core.defenses import Defenses
-from repro.core.protocol import ProtocolConfig, run_protocol
-from repro.experiments.runner import run_trials
+from repro.experiments.dispatch import run_deviation_trials_fast
 from repro.experiments.workloads import skewed
 from repro.util.tables import Table
 
@@ -41,25 +46,12 @@ class E9Options:
     minority: float = 0.25
     trials: int = 80
     gamma: float = 2.5
+    # Exposure-window sweep for the pooled attack (high -> low).
+    pooled_gammas: Sequence[float] = (2.5, 1.0, 0.5)
+    starvation_gamma: float = 0.75
     seed: int = 9909
+    engine: str = "auto"
     parallel: bool = True
-
-
-def _trial(
-    args: tuple[int, float, float, str | None, tuple, dict, int]
-) -> tuple[bool, bool, bool]:
-    """Returns (attacker_color_won, failed, silent_split)."""
-    n, minority, gamma, strategy, members, defense_kwargs, seed = args
-    colors = skewed(n, minority=minority)
-    deviation = plan(strategy, frozenset(members)) if strategy else None
-    cfg = ProtocolConfig(
-        colors=colors, gamma=gamma, seed=seed, deviation=deviation,
-        defenses=Defenses(**defense_kwargs),
-    )
-    res = run_protocol(cfg)
-    decided = set(res.decisions.values())
-    split = res.outcome is None and None not in decided and len(decided) > 1
-    return res.outcome == "blue", res.outcome is None, split
 
 
 def run(opts: E9Options = E9Options()) -> Table:
@@ -84,27 +76,25 @@ def run(opts: E9Options = E9Options()) -> Table:
         ({"verify_omissions": False}, opts.gamma, "underbid_drop", blue0),
         # Coherence: at a starvation-level gamma Find-Min sometimes fails;
         # with coherence that surfaces as ⊥, without it as a silent split.
-        ({}, 0.75, None, ()),
-        ({"coherence": False}, 0.75, None, ()),
+        ({}, opts.starvation_gamma, None, ()),
+        ({"coherence": False}, opts.starvation_gamma, None, ()),
         # Exposure window: the pooled attack against decreasing gamma,
         # and against a protocol with no Commitment phase at all (nobody
         # is ever exposed -> the attack wins outright).
-        ({}, 2.5, "pooled", blues4),
-        ({}, 1.0, "pooled", blues4),
-        ({}, 0.5, "pooled", blues4),
-        ({"commitment": False}, 2.5, "pooled", blues4),
+        *[({}, g, "pooled", blues4) for g in opts.pooled_gammas],
+        ({"commitment": False}, opts.pooled_gammas[0], "pooled", blues4),
     ]
 
     for defense_kwargs, gamma, strategy, members in cases:
-        args = [
-            (opts.n, opts.minority, gamma, strategy, members,
-             defense_kwargs, s)
-            for s in seeds
-        ]
-        rows = run_trials(_trial, args, parallel=opts.parallel)
-        wins = sum(1 for w, _, _ in rows if w)
-        fails = sum(1 for _, f, _ in rows if f)
-        splits = sum(1 for _, _, s in rows if s)
+        res = run_deviation_trials_fast(
+            colors, seeds, strategy, frozenset(members), gamma=gamma,
+            defenses=Defenses(**defense_kwargs), engine=opts.engine,
+            parallel=opts.parallel,
+        )
+        outcomes = res.deviant.outcomes()
+        wins = sum(1 for o in outcomes if o == "blue")
+        fails = sum(1 for o in outcomes if o is None)
+        splits = int(res.split.sum())
         table.add_row(
             Defenses(**defense_kwargs).describe(),
             gamma,

@@ -9,13 +9,17 @@ process with NumPy array operations, orders of magnitude faster:
 * :func:`simulate_protocol_fast` — one run, vectorised within the run;
 * :func:`simulate_protocol_fast_batch` — B runs in one batched pass
   (trial-axis vectorisation; a bit-exact seed-parity mode and a
-  sufficient-statistics mode, see :mod:`repro.fastpath.batch`).
+  sufficient-statistics mode, see :mod:`repro.fastpath.batch`);
+* :func:`simulate_strategy_fast_batch` — B *paired* honest/deviant runs
+  for every registered coalition strategy, compiled from the same plan
+  registry as the agent engine (:mod:`repro.fastpath.strategies`).
 
 The fastpaths are cross-validated against the agent engine in
-``tests/test_fastpath.py`` and against each other in
-``tests/test_fastpath_batch.py``: identical invariants, statistically
-identical outcome distributions, and message/size accounting within the
-documented modelling simplifications (DESIGN.md §2–§3).
+``tests/test_fastpath.py`` / ``tests/test_strategy_conformance.py`` and
+against each other in ``tests/test_fastpath_batch.py``: identical
+invariants, statistically identical outcome distributions, and
+message/size accounting within the documented modelling simplifications
+(DESIGN.md §2–§3, §5).
 """
 
 from repro.fastpath.batch import (
@@ -24,11 +28,17 @@ from repro.fastpath.batch import (
     simulate_protocol_fast_batch,
 )
 from repro.fastpath.simulate import FastRunResult, simulate_protocol_fast
+from repro.fastpath.strategies import (
+    StrategyBatchResult,
+    simulate_strategy_fast_batch,
+)
 
 __all__ = [
     "FastBatchResult",
     "FastRunResult",
+    "StrategyBatchResult",
     "batch_from_runs",
     "simulate_protocol_fast",
     "simulate_protocol_fast_batch",
+    "simulate_strategy_fast_batch",
 ]

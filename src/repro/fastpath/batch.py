@@ -189,6 +189,31 @@ class FastBatchResult:
             tally[self.colors[label]] += int(per_label[label])
         return tally
 
+    # -- sentinel-aware reducers -------------------------------------------
+    # ``find_min_rounds`` and ``min_commitment_pulls_received`` use -1 as
+    # a sentinel: "Find-Min never converged" in the fastpath engines, and
+    # "not observed" on the agent-engine route (``dispatch._agent_worker``).
+    # Plain means/mins over those columns silently absorb the sentinels;
+    # every aggregate consumer should reduce through these instead.
+
+    def observed_find_min_rounds(self) -> np.ndarray:
+        """``find_min_rounds`` with the -1 sentinels masked out."""
+        return self.find_min_rounds[self.find_min_rounds >= 0]
+
+    def find_min_rounds_mean(self) -> float:
+        """Mean convergence round over the trials where it was observed
+        (NaN when no trial observed one — e.g. the agent engine)."""
+        observed = self.observed_find_min_rounds()
+        return float(observed.mean()) if observed.size else float("nan")
+
+    def min_commitment_pulls_seen(self) -> int | None:
+        """Smallest observed Lemma 6.1 coverage statistic, or ``None``
+        when no engine-observed value exists (agent-engine batches)."""
+        observed = self.min_commitment_pulls_received[
+            self.min_commitment_pulls_received >= 0
+        ]
+        return int(observed.min()) if observed.size else None
+
 
 def _normalise_faulty(
     faulty: frozenset[int] | Iterable[frozenset[int]] | None, n_trials: int

@@ -8,6 +8,15 @@ from repro.core.params import ProtocolParams
 from repro.util.rng import SeedTree
 
 
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "slow: heavyweight suites (cross-tier conformance matrix, "
+        "experiment smoke tests); CI's fast job deselects them with "
+        "-m 'not slow', the nightly/full job runs everything",
+    )
+
+
 @pytest.fixture
 def params16() -> ProtocolParams:
     """Small but non-trivial parameters (n=16, gamma=2 -> q=8)."""

@@ -1,0 +1,213 @@
+"""Unit tests for the batched strategy tier (``fastpath/strategies``)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents.plans import plan
+from repro.core.defenses import Defenses
+from repro.fastpath.strategies import simulate_strategy_fast_batch
+from tests.conftest import two_color_split
+
+COLORS = two_color_split(48, 0.75)   # 36 red, 12 blue
+BLUES = [i for i, c in enumerate(COLORS) if c == "blue"]
+SEEDS = list(range(80))
+
+
+def run(strategy, members, *, gamma=2.5, defenses=Defenses(), colors=COLORS,
+        seeds=SEEDS, faulty=frozenset()):
+    return simulate_strategy_fast_batch(
+        colors, seeds, strategy, set(members), gamma=gamma,
+        defenses=defenses, faulty=faulty,
+    )
+
+
+class TestPairing:
+    def test_honest_shadow_is_a_noop(self):
+        res = run("honest_shadow", BLUES[:2])
+        assert np.array_equal(res.honest.winner, res.deviant.winner)
+        assert np.array_equal(res.honest.total_bits, res.deviant.total_bits)
+        assert not res.detected.any()
+        assert not res.forged.any()
+
+    def test_honest_side_strategy_independent(self):
+        """Paired honest baselines share draws across strategies — a
+        property of the fixed draw order, not of the baseline memo
+        (which is cleared between the calls here)."""
+        import repro.fastpath.strategies as strat
+
+        a = run("silent", BLUES[:2])
+        strat._honest_memo["key"] = None
+        strat._honest_memo["chunks"] = None
+        b = run("griefing", BLUES[:2])
+        assert np.array_equal(a.honest.winner, b.honest.winner)
+        assert np.array_equal(a.honest.total_bits, b.honest.total_bits)
+
+    def test_honest_memo_matches_fresh_evaluation(self):
+        """The second call of a grid replays the honest side from the
+        memo; the replay must be identical to a cold evaluation."""
+        import repro.fastpath.strategies as strat
+
+        warm = run("silent", BLUES[:2])
+        cached = run("vote_switch", BLUES[:1])      # memo hit
+        strat._honest_memo["key"] = None
+        strat._honest_memo["chunks"] = None
+        cold = run("vote_switch", BLUES[:1])        # memo miss
+        assert np.array_equal(cached.honest.winner, cold.honest.winner)
+        assert np.array_equal(cached.honest.winner, warm.honest.winner)
+        assert np.array_equal(cached.deviant.winner, cold.deviant.winner)
+
+    def test_deterministic_in_seeds(self):
+        a = run("pooled", BLUES[:4])
+        b = run("pooled", BLUES[:4])
+        assert np.array_equal(a.deviant.winner, b.deviant.winner)
+        assert np.array_equal(a.exposed_members, b.exposed_members)
+
+    def test_accepts_plan_and_name(self):
+        by_name = run("silent", BLUES[:2])
+        by_plan = simulate_strategy_fast_batch(
+            COLORS, SEEDS, plan("silent", frozenset(BLUES[:2])), gamma=2.5,
+        )
+        assert np.array_equal(by_name.deviant.winner, by_plan.deviant.winner)
+
+    def test_empty_coalition_matches_honest(self):
+        res = run(None, ())
+        assert np.array_equal(res.honest.winner, res.deviant.winner)
+        assert res.honest.success_rate() > 0.9
+
+
+class TestValidation:
+    def test_member_label_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            run("silent", {len(COLORS)})
+
+    def test_faulty_coalition_overlap(self):
+        with pytest.raises(ValueError, match="marked faulty"):
+            run("silent", {BLUES[0]}, faulty=frozenset({BLUES[0]}))
+
+    def test_plan_without_effects_rejected(self):
+        from repro.agents.plans import StrategyPlan
+        from repro.agents.base import DeviantAgent
+
+        bare = StrategyPlan(members=frozenset({0}), agent_cls=DeviantAgent)
+        with pytest.raises(ValueError, match="effect spec"):
+            simulate_strategy_fast_batch(COLORS, SEEDS, bare)
+
+
+class TestAbstention:
+    def test_silent_members_never_win(self):
+        res = run("silent", BLUES[:3])
+        assert not np.isin(res.deviant.winner, BLUES[:3]).any()
+        assert res.deviant.success_rate() > 0.9
+
+    def test_all_blue_silent_blue_never_wins(self):
+        res = run("silent", BLUES)
+        assert "blue" not in set(res.deviant.outcomes())
+
+    def test_suppress_members_never_win_but_network_converges(self):
+        res = run("findmin_suppress", BLUES[:4])
+        assert not np.isin(res.deviant.winner, BLUES[:4]).any()
+        assert res.deviant.success_rate() > 0.9
+
+
+class TestForgeries:
+    @pytest.mark.parametrize("mode", ["underbid_alter", "underbid_drop",
+                                      "underbid_klie", "underbid_fabricate"])
+    def test_forgeries_never_win_at_full_defenses(self, mode):
+        res = run(mode, BLUES[:1])
+        assert res.forged.all()
+        assert (res.deviant.winner == -1).all()
+        assert res.detected.all()
+
+    def test_klie_wins_without_verify_k(self):
+        res = run("underbid_klie", BLUES[:1],
+                  defenses=Defenses(verify_k=False))
+        wins = sum(1 for o in res.deviant.outcomes() if o == "blue")
+        assert wins / len(SEEDS) > 0.9
+
+    def test_alter_wins_without_verify_ledger(self):
+        res = run("underbid_alter", BLUES[:1],
+                  defenses=Defenses(verify_ledger=False))
+        wins = sum(1 for o in res.deviant.outcomes() if o == "blue")
+        assert wins / len(SEEDS) > 0.9
+
+    def test_drop_wins_without_verify_omissions(self):
+        res = run("underbid_drop", BLUES[:1],
+                  defenses=Defenses(verify_omissions=False))
+        wins = sum(1 for o in res.deviant.outcomes() if o == "blue")
+        assert wins / len(SEEDS) > 0.9
+
+    def test_drop_still_caught_with_omissions_on(self):
+        res = run("underbid_drop", BLUES[:1])
+        assert res.detected.all()
+
+
+class TestPooled:
+    def test_exposure_gates_forgery(self):
+        res = run("pooled", BLUES[:4])
+        # At gamma=2.5 every member is exposed w.h.p.: no forgery, the
+        # fallback plays honest and the network succeeds.
+        assert not res.forged.any()
+        assert (res.exposed_members == 4).all()
+        assert res.deviant.success_rate() > 0.9
+
+    def test_forges_and_wins_without_commitment(self):
+        res = run("pooled", BLUES[:4], defenses=Defenses(commitment=False))
+        assert res.forged.all()
+        assert (res.exposed_members == 0).all()
+        wins = sum(1 for o in res.deviant.outcomes() if o == "blue")
+        assert wins / len(SEEDS) > 0.9
+
+    def test_win_rate_decays_with_gamma(self):
+        """Lemma 6: the exposure window closes as gamma grows."""
+        lo = run("pooled", BLUES[:4], gamma=0.5)
+        hi = run("pooled", BLUES[:4], gamma=2.5)
+        assert lo.forged.mean() > hi.forged.mean()
+
+    def test_gamble_always_caught(self):
+        res = run("pooled_gamble", BLUES[:2])
+        assert res.forged.all()
+        assert res.detected.all()
+
+    def test_single_member_pooled_cannot_forge(self):
+        res = run("pooled", BLUES[:1])
+        assert not res.forged.any()
+
+
+class TestGriefing:
+    def test_single_griefer_always_fails_network(self):
+        res = run("griefing", BLUES[:1])
+        assert res.detected.all()
+        assert (res.deviant.winner == -1).all()
+
+    def test_griefer_harmless_without_coherence_check(self):
+        res = run("griefing", BLUES[:1],
+                  defenses=Defenses(coherence=False))
+        # Receivers ignore mismatching pushes: the bogus certificates
+        # change nothing (the griefer is otherwise honest).
+        assert res.deviant.success_rate() > 0.9
+
+
+class TestAblations:
+    def test_starvation_gamma_splits_without_coherence(self):
+        on = run(None, (), gamma=0.75)
+        off = run(None, (), gamma=0.75, defenses=Defenses(coherence=False))
+        # With coherence the starved runs surface as ⊥ and never as a
+        # silent split; without it the same draws split silently.
+        assert not on.split.any()
+        assert off.split.mean() > 0.2
+        assert off.split.sum() <= (off.deviant.winner == -1).sum()
+
+    def test_split_and_detected_disjoint(self):
+        res = run(None, (), gamma=0.75)
+        assert not (res.split & res.detected).any()
+
+
+class TestFaults:
+    def test_strategy_tier_handles_crash_faults(self):
+        faulty = frozenset(range(4))
+        res = run("silent", BLUES[:2], faulty=faulty, gamma=4.0)
+        assert (res.honest.n_active == len(COLORS) - 4).all()
+        assert not np.isin(res.deviant.winner, list(faulty)).any()
+        assert res.honest.success_rate() > 0.9
