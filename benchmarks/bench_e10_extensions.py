@@ -13,8 +13,9 @@ OPTS = E10Options(n=64, trials=30, gamma=3.0, async_sizes=(64, 256, 1024))
 
 
 def test_e10_extensions(benchmark, emit):
-    topo, asy = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
-    emit("e10_extensions", topo, asy)
+    result = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
+    emit("e10_extensions", result)
+    topo, asy = result.tables()
     success = dict(zip(topo.column("graph"), topo.column("success rate")))
     assert success["complete"] > 0.95
     assert success["er_dense"] > 0.9

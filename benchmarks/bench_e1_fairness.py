@@ -17,8 +17,9 @@ OPTS = E1Options(
 
 
 def test_e1_fairness(benchmark, emit):
-    table = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
-    emit("e1_fairness", table)
+    result = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
+    emit("e1_fairness", result)
+    table, = result.tables()
     rows = len(table.rows)
     # TV at (or near) the fair-sampling noise floor everywhere.
     for tv, floor in zip(table.column("TV distance"),

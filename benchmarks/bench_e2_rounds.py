@@ -16,8 +16,9 @@ OPTS = E2Options(
 
 
 def test_e2_rounds(benchmark, emit):
-    main, fits = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
-    emit("e2_rounds", main, fits)
+    result = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
+    emit("e2_rounds", result)
+    main, fits = result.tables()
     fit = {
         (q, s): r2
         for q, s, r2 in zip(

@@ -16,8 +16,9 @@ OPTS = E3Options(
 
 
 def test_e3_message_size(benchmark, emit):
-    main, fits = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
-    emit("e3_message_size", main, fits)
+    result = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
+    emit("e3_message_size", result)
+    main, fits = result.tables()
     r2 = dict(zip(fits.column("fitted shape"), fits.column("R^2")))
     assert r2["log^2 n"] > 0.995
     assert r2["log^2 n"] > r2["log n"]

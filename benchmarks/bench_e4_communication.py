@@ -17,8 +17,9 @@ OPTS = E4Options(
 
 
 def test_e4_communication(benchmark, emit):
-    main, fits = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
-    emit("e4_communication", main, fits)
+    result = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
+    emit("e4_communication", result)
+    main, fits = result.tables()
     ratios = main.column("msg ratio (P/LOCAL)")
     assert ratios[-1] < 0.5           # decisively cheaper at n = 2048
     assert ratios[-1] < ratios[0]     # advantage grows with n

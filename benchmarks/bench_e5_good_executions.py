@@ -16,8 +16,9 @@ OPTS = E5Options(
 
 
 def test_e5_good_executions(benchmark, emit):
-    table = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
-    emit("e5_good_executions", table)
+    result = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
+    emit("e5_good_executions", result)
+    table, = result.tables()
     rows = {
         (n, g): rate
         for n, g, rate in zip(

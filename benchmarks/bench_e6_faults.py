@@ -20,8 +20,9 @@ OPTS = E6Options(
 
 
 def test_e6_faults(benchmark, emit):
-    table = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
-    emit("e6_faults", table)
+    result = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
+    emit("e6_faults", result)
+    table, = result.tables()
     rows = list(zip(
         table.column("placement"), table.column("alpha"),
         table.column("gamma"), table.column("success rate"),

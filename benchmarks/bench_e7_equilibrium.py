@@ -20,8 +20,9 @@ OPTS = E7Options(
 
 
 def test_e7_equilibrium(benchmark, emit):
-    table = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
-    emit("e7_equilibrium", table)
+    result = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
+    emit("e7_equilibrium", result)
+    table, = result.tables()
     # Theorem 7: no strategy is significantly profitable.
     for profitable in table.column("profitable?"):
         assert not profitable

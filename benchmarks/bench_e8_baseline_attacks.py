@@ -13,8 +13,9 @@ OPTS = E8Options(n=64, minority=0.1, trials=100, gamma=3.0)
 
 
 def test_e8_baseline_attacks(benchmark, emit):
-    table = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
-    emit("e8_baseline_attacks", table)
+    result = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
+    emit("e8_baseline_attacks", result)
+    table, = result.tables()
     rows = {
         (p, a): (w, f)
         for p, a, w, f in zip(

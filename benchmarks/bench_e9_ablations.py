@@ -15,8 +15,9 @@ OPTS = E9Options(n=48, minority=0.25, trials=80, gamma=2.5)
 
 
 def test_e9_ablations(benchmark, emit):
-    table = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
-    emit("e9_ablations", table)
+    result = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
+    emit("e9_ablations", result)
+    table, = result.tables()
     rows = {
         (d, g, a): (w, f, s)
         for d, g, a, w, f, s in zip(

@@ -1,21 +1,34 @@
 #!/usr/bin/env python3
-"""Quickstart: run Protocol P once and inspect everything it did.
+"""Quickstart: one protocol run, then the structured experiment API.
 
-Builds a 100-agent network with a 60/40 red/blue split, runs one full
-execution of the rational fair consensus protocol, and prints the
+Part 1 builds a 100-agent network with a 60/40 red/blue split, runs one
+full execution of the rational fair consensus protocol, and prints the
 outcome, the winning agent, the good-execution report and the
 communication costs (the quantities Theorem 4 bounds).
+
+Part 2 shows the structured-results API the experiment harness is built
+on: look an experiment up in the registry, run it with overridden
+options, inspect its typed records, and save/load the result through
+the JSON persistence layer (DESIGN.md §7).
 
 Usage:
     python examples/quickstart.py [seed]
 """
 
 import sys
+import tempfile
+from pathlib import Path
 
-from repro import ProtocolConfig, run_protocol
+from repro import (
+    ProtocolConfig,
+    get_experiment,
+    load_result,
+    run_protocol,
+    save_result,
+)
 
 
-def main(seed: int = 7) -> None:
+def single_run(seed: int) -> None:
     colors = ["red"] * 60 + ["blue"] * 40
     config = ProtocolConfig(colors=colors, gamma=3.0, seed=seed)
     result = run_protocol(config)
@@ -46,5 +59,37 @@ def main(seed: int = 7) -> None:
     print(f"{agreeing}/{len(result.decisions)} active agents decided {result.outcome!r}.")
 
 
+def structured_experiment(seed: int) -> None:
+    print()
+    print("=== Structured results (E1 fairness, tiny) ===")
+    spec = get_experiment("e1")          # registry: options class + runner
+    opts = spec.options_cls(sizes=(64,), workloads=("balanced", "skewed"),
+                            trials=100, seed=seed, parallel=False)
+    result = spec.run(opts)              # ExperimentResult, not printed text
+
+    print(f"experiment          : {result.experiment}  ({result.title})")
+    print(f"claim               : {result.claim}")
+    print(f"engine tier         : {result.meta.resolved_engine}"
+          f"  (wall time {result.meta.wall_time_s:.3f}s)")
+    print(f"resume key          : {result.key}")
+    print()
+    for rec in result.records():         # typed, header-keyed row dicts
+        print(f"  {rec['workload']:<10} TV={rec['TV distance']:.4f} "
+              f"(noise floor {rec['TV noise floor']:.4f}) "
+              f"fair={rec['fair at 5%?']}")
+    print()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = save_result(result, Path(tmp))        # e1-<hash>.json
+        loaded = load_result(paths[0])
+        assert loaded.canonical() == result.canonical()
+        print(f"saved + reloaded    : {paths[0].name} (round trip exact)")
+
+    print()
+    print(result.tables()[0].render())   # the classic text table, unchanged
+
+
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 7)
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+    single_run(seed)
+    structured_experiment(seed)

@@ -17,6 +17,8 @@ Quickstart::
 See ``examples/`` and README.md for more.
 """
 
+__version__ = "1.1.0"
+
 from repro.core import (
     Certificate,
     Defenses,
@@ -31,15 +33,31 @@ from repro.core import (
     RunResult,
     run_protocol,
 )
+from repro.experiments.registry import (
+    ExperimentSpec,
+    experiment_names,
+    get_experiment,
+    iter_experiments,
+    run_experiment,
+)
 from repro.gossip import GossipEngine, MessageMetrics, Node
+from repro.results import (
+    ExperimentResult,
+    ResultMeta,
+    ResultSection,
+    load_result,
+    result_key,
+    save_result,
+)
+from repro.study import Study, StudyCell, StudyResult
 from repro.util import SeedTree, Table
-
-__version__ = "1.0.0"
 
 __all__ = [
     "Certificate",
     "Defenses",
     "DeviationPlan",
+    "ExperimentResult",
+    "ExperimentSpec",
     "FULL_DEFENSES",
     "FailReason",
     "GoodExecutionReport",
@@ -50,9 +68,21 @@ __all__ = [
     "Phase",
     "ProtocolConfig",
     "ProtocolParams",
+    "ResultMeta",
+    "ResultSection",
     "RunResult",
     "SeedTree",
+    "Study",
+    "StudyCell",
+    "StudyResult",
     "Table",
+    "experiment_names",
+    "get_experiment",
+    "iter_experiments",
+    "load_result",
+    "result_key",
+    "run_experiment",
     "run_protocol",
+    "save_result",
     "__version__",
 ]

@@ -3,50 +3,55 @@
 Three subcommands::
 
     python -m repro run         # one protocol execution, human-readable
-    python -m repro experiment  # regenerate an experiment table (E1-E10)
+    python -m repro experiment  # regenerate an experiment (E1-E10, or all)
     python -m repro list        # available strategies / workloads / experiments
+
+The ``experiment`` subcommand is registry-driven
+(:mod:`repro.experiments.registry`): any field of an experiment's
+options dataclass can be overridden with ``--set field=value`` (values
+are coerced to the field's declared type; comma-separate sequence
+elements), results render as text tables or serialise as JSON/CSV, and
+``--out DIR`` archives the structured result under its content-hash
+resume key (see :mod:`repro.results`).
 
 Examples::
 
     python -m repro run --n 100 --split 60 --seed 7
     python -m repro run --n 64 --split 90 --strategy underbid_alter --coalition 1
     python -m repro experiment e1 --trials 200
-    python -m repro experiment e4
+    python -m repro experiment e5 --set sizes=64,256 --set gammas=1.0,3.0
+    python -m repro experiment e1 --trials 8 --format json --out results/ci
+    python -m repro experiment all --trials 20 --serial
+    python -m repro list --json
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
+import collections.abc
+import dataclasses
+import json
 import sys
-from typing import Callable, Sequence
+import typing
+from pathlib import Path
+from typing import Any, Sequence
 
 from repro.agents.plans import STRATEGY_NAMES, plan
 from repro.core.protocol import ProtocolConfig, run_protocol
 from repro.experiments import workloads
+from repro.experiments.registry import (
+    ExperimentSpec,
+    experiment_names,
+    get_experiment,
+    iter_experiments,
+)
+from repro.results import ExperimentResult, csv_sections, save_result
 from repro.util.tables import Table
 
 __all__ = ["main", "build_parser"]
 
-
-def _experiment_registry() -> dict[str, tuple[Callable, Callable]]:
-    """name -> (options-class, run-function); imported lazily."""
-    from repro.experiments import (
-        e1_fairness, e2_rounds, e3_message_size, e4_communication,
-        e5_good_executions, e6_faults, e7_equilibrium,
-        e8_baseline_attacks, e9_ablations, e10_extensions,
-    )
-    return {
-        "e1": (e1_fairness.E1Options, e1_fairness.run),
-        "e2": (e2_rounds.E2Options, e2_rounds.run),
-        "e3": (e3_message_size.E3Options, e3_message_size.run),
-        "e4": (e4_communication.E4Options, e4_communication.run),
-        "e5": (e5_good_executions.E5Options, e5_good_executions.run),
-        "e6": (e6_faults.E6Options, e6_faults.run),
-        "e7": (e7_equilibrium.E7Options, e7_equilibrium.run),
-        "e8": (e8_baseline_attacks.E8Options, e8_baseline_attacks.run),
-        "e9": (e9_ablations.E9Options, e9_ablations.run),
-        "e10": (e10_extensions.E10Options, e10_extensions.run),
-    }
+_FORMATS = ("table", "json", "csv")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,15 +77,35 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--coalition", type=int, default=1,
                        help="coalition size (blue supporters deviate)")
 
-    exp_p = sub.add_parser("experiment", help="regenerate an experiment table")
-    exp_p.add_argument("name", choices=sorted(_experiment_registry()),
-                       help="experiment id (e1..e10)")
+    exp_p = sub.add_parser(
+        "experiment",
+        help="regenerate an experiment (structured results)",
+    )
+    exp_p.add_argument("name", choices=[*experiment_names(), "all"],
+                       help="experiment id (e1..e10), or 'all'")
     exp_p.add_argument("--trials", type=int, default=None,
-                       help="override the default trial count")
+                       help="override the default trial count "
+                            "(same as --set trials=N)")
     exp_p.add_argument("--serial", action="store_true",
-                       help="disable process parallelism")
+                       help="disable process parallelism "
+                            "(same as --set parallel=false)")
+    exp_p.add_argument("--set", dest="overrides", action="append",
+                       default=[], metavar="FIELD=VALUE",
+                       help="override any option field of the experiment; "
+                            "repeatable; comma-separate sequence values "
+                            "(e.g. --set sizes=64,128)")
+    exp_p.add_argument("--format", dest="fmt", choices=_FORMATS,
+                       default="table",
+                       help="output format on stdout (default: table)")
+    exp_p.add_argument("--out", type=Path, default=None, metavar="DIR",
+                       help="also archive the structured result (JSON, "
+                            "plus CSV with --format csv) under DIR, "
+                            "keyed by content hash")
 
-    sub.add_parser("list", help="show strategies, workloads, experiments")
+    list_p = sub.add_parser(
+        "list", help="show strategies, workloads, experiments")
+    list_p.add_argument("--json", dest="as_json", action="store_true",
+                        help="machine-readable listing")
     return parser
 
 
@@ -115,22 +140,182 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if result.succeeded or deviation else 1
 
 
+# ---------------------------------------------------------------------------
+# experiment subcommand: overrides, formats, archiving
+# ---------------------------------------------------------------------------
+
+class _OverrideError(ValueError):
+    """A --set override that cannot be applied (exit code 2)."""
+
+
+def _parse_overrides(pairs: Sequence[str]) -> dict[str, str]:
+    """Split ``FIELD=VALUE`` strings (raw values; coerced per experiment)."""
+    out: dict[str, str] = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        if not sep or not name:
+            raise _OverrideError(
+                f"malformed --set {pair!r}: expected FIELD=VALUE"
+            )
+        out[name.strip()] = value
+    return out
+
+
+_TRUE = ("true", "yes", "on", "1")
+_FALSE = ("false", "no", "off", "0")
+
+
+def _coerce_value(text: str, hint: Any) -> Any:
+    """Coerce an override string to an options field's declared type."""
+    origin = typing.get_origin(hint)
+    if origin in (collections.abc.Sequence, tuple, list) or hint in (
+        tuple, list,
+    ):
+        args = [a for a in typing.get_args(hint) if a is not Ellipsis]
+        elem = args[0] if args else None
+        items = [t.strip() for t in text.split(",") if t.strip() != ""]
+        return tuple(_coerce_value(item, elem) for item in items)
+    if hint is bool:
+        low = text.strip().lower()
+        if low in _TRUE:
+            return True
+        if low in _FALSE:
+            return False
+        raise ValueError(f"expected a boolean, got {text!r}")
+    if hint is int:
+        return int(text)
+    if hint is float:
+        return float(text)
+    if hint is str:
+        return text
+    # No usable hint (e.g. unparameterised field): best-effort literal.
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def _coerce_overrides(
+    spec: ExperimentSpec,
+    raw: dict[str, str],
+    *,
+    skip_unknown: bool = False,
+) -> dict[str, Any]:
+    """Validate override names against the options dataclass and coerce.
+
+    Unknown fields raise :class:`_OverrideError` listing the valid
+    fields (exit 2), or are skipped with a note in ``all`` mode where
+    option schemas differ between experiments.
+    """
+    try:
+        hints = typing.get_type_hints(spec.options_cls)
+    except Exception:  # pragma: no cover - unresolvable annotations
+        hints = {}
+    valid = [f.name for f in spec.option_fields()]
+    out: dict[str, Any] = {}
+    for name, text in raw.items():
+        if name not in valid:
+            if skip_unknown:
+                print(
+                    f"note: {spec.name} has no option field {name!r}; "
+                    "skipped", file=sys.stderr,
+                )
+                continue
+            raise _OverrideError(
+                f"unknown option field {name!r} for {spec.name}; "
+                f"valid fields: {', '.join(valid)}"
+            )
+        try:
+            out[name] = _coerce_value(text, hints.get(name))
+        except (ValueError, SyntaxError) as exc:
+            raise _OverrideError(
+                f"bad value for {spec.name} option {name!r}: {exc}"
+            ) from exc
+    return out
+
+
+def _emit_result(result: ExperimentResult, fmt: str,
+                 out_dir: Path | None) -> None:
+    if fmt == "table":
+        for table in result.tables():
+            print(table.render())
+            print()
+    elif fmt == "json":
+        print(json.dumps(result.to_json_dict(), indent=2))
+    else:  # csv
+        for section, text in zip(result.sections, csv_sections(result)):
+            if section.title:
+                print(f"# {section.title}")
+            print(text, end="")
+            print()
+    if out_dir is not None:
+        formats = ("json", "csv") if fmt == "csv" else ("json",)
+        for path in save_result(result, out_dir, formats=formats):
+            print(f"saved: {path}", file=sys.stderr)
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    opts_cls, run_fn = _experiment_registry()[args.name]
-    overrides = {}
-    if args.trials is not None:
-        overrides["trials"] = args.trials
-    if args.serial:
-        overrides["parallel"] = False
-    result = run_fn(opts_cls(**overrides))
-    tables = result if isinstance(result, tuple) else (result,)
-    for t in tables:
-        print(t.render())
-        print()
+    names = experiment_names() if args.name == "all" else [args.name]
+    sweep = args.name == "all"
+    try:
+        raw = _parse_overrides(args.overrides)
+        if args.trials is not None and "trials" in raw:
+            raise _OverrideError(
+                "conflicting --trials and --set trials=...; pick one"
+            )
+        if args.serial and "parallel" in raw:
+            raise _OverrideError(
+                "conflicting --serial and --set parallel=...; pick one"
+            )
+        if args.trials is not None:
+            raw["trials"] = str(args.trials)
+        if args.serial:
+            raw["parallel"] = "false"
+        # Validate and build every options instance up front, so a bad
+        # override exits 2 before any experiment runs (or archives).
+        runs = []
+        for name in names:
+            spec = get_experiment(name)
+            overrides = _coerce_overrides(spec, raw, skip_unknown=sweep)
+            try:
+                runs.append((spec, spec.options_cls(**overrides)))
+            except TypeError as exc:
+                raise _OverrideError(
+                    f"cannot build {spec.options_cls.__name__}: {exc}"
+                ) from exc
+    except _OverrideError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for spec, opts in runs:
+        _emit_result(spec.run(opts), args.fmt, args.out)
     return 0
 
 
-def _cmd_list(_args: argparse.Namespace) -> int:
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.as_json:
+        listing = {
+            "strategies": list(STRATEGY_NAMES),
+            "workloads": list(workloads.WORKLOADS),
+            "experiments": [
+                {
+                    "name": spec.name,
+                    "title": spec.title,
+                    "claim": spec.claim,
+                    "kind": spec.kind,
+                    "options_type": (
+                        f"{spec.options_cls.__module__}."
+                        f"{spec.options_cls.__qualname__}"
+                    ),
+                    "options": json.loads(json.dumps(
+                        dataclasses.asdict(spec.default_options()),
+                        default=str,
+                    )),
+                }
+                for spec in iter_experiments()
+            ],
+        }
+        print(json.dumps(listing, indent=2))
+        return 0
     print("strategies:")
     for name in STRATEGY_NAMES:
         print(f"  {name}")
@@ -138,8 +323,8 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     for name in workloads.WORKLOADS:
         print(f"  {name}")
     print("\nexperiments:")
-    for name in sorted(_experiment_registry()):
-        print(f"  {name}")
+    for spec in iter_experiments():
+        print(f"  {spec.name:<4} {spec.title} ({spec.claim})")
     return 0
 
 

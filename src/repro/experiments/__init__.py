@@ -1,8 +1,13 @@
 """The experiment harness: one module per claim of the paper.
 
-Every experiment exposes a ``run(options) -> Table`` (some return several
-tables) and is wired to a benchmark in ``benchmarks/``; EXPERIMENTS.md
-records the measured tables next to the paper's claims.
+Every experiment registers itself via the :func:`experiment` decorator
+(binding its options dataclass to its runner) and exposes a
+``run(options) -> ExperimentResult``: typed row sections plus run
+metadata, whose ``.tables()`` render matches the classic text report
+byte-for-byte.  Each experiment is wired to a benchmark in
+``benchmarks/``; EXPERIMENTS.md records the measured tables next to the
+paper's claims.  Discover experiments through
+:func:`get_experiment`/:func:`iter_experiments`.
 
 ===========  ==============================================================
 Experiment   Claim
@@ -26,11 +31,25 @@ from repro.experiments.dispatch import (
     run_deviation_trials_fast,
     run_trials_fast,
 )
+from repro.experiments.registry import (
+    ExperimentSpec,
+    experiment,
+    experiment_names,
+    get_experiment,
+    iter_experiments,
+    run_experiment,
+)
 from repro.experiments.runner import run_trials
 
 __all__ = [
+    "ExperimentSpec",
     "choose_engine",
+    "experiment",
+    "experiment_names",
+    "get_experiment",
+    "iter_experiments",
     "run_deviation_trials_fast",
+    "run_experiment",
     "run_trials",
     "run_trials_fast",
     "workloads",

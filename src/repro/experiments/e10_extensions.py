@@ -21,6 +21,7 @@ from typing import Sequence
 import networkx as nx
 
 from repro.analysis.stats import mean_ci
+from repro.experiments.registry import experiment
 from repro.experiments.runner import run_trials
 from repro.experiments.workloads import balanced
 from repro.extensions.async_gossip import async_min_ticks, run_async_leader_election
@@ -79,6 +80,10 @@ def _async_trial(args: tuple[int, int]) -> tuple[float, bool]:
     return ticks / (n * math.log2(n)), election.converged
 
 
+@experiment("e10", options=E10Options,
+            title="Other graphs; sequential GOSSIP",
+            claim="conclusions — the paper's open problems, empirically",
+            kind="honest", seed_strides=(41, 43))
 def run(opts: E10Options = E10Options()) -> tuple[Table, Table]:
     topo = Table(
         headers=["graph", "success rate", "mean zero-vote agents",

@@ -34,6 +34,7 @@ from repro.analysis.fairness import (
     total_variation,
 )
 from repro.experiments.dispatch import run_trials_fast
+from repro.experiments.registry import experiment
 from repro.experiments.workloads import WORKLOADS
 from repro.util.tables import Table
 
@@ -80,6 +81,10 @@ def _binned_uniform_pvalue(winners: np.ndarray, n: int, bins: int = 8) -> float:
     return float(pvalue)
 
 
+@experiment("e1", options=E1Options,
+            title="Fairness of the winning distribution",
+            claim="Theorem 4 — Pr[color c wins] tracks initial support",
+            kind="honest", seed_strides=(1000,))
 def run(opts: E1Options = E1Options()) -> Table:
     table = Table(
         headers=["workload", "n", "trials", "fail_rate", "TV distance",

@@ -21,6 +21,7 @@ from typing import Sequence
 from repro.analysis.stats import mean_ci
 from repro.analysis.scaling import fit_against
 from repro.experiments.dispatch import run_trials_fast
+from repro.experiments.registry import experiment
 from repro.experiments.workloads import balanced
 from repro.util.tables import Table
 
@@ -37,6 +38,10 @@ class E2Options:
     parallel: bool = True
 
 
+@experiment("e2", options=E2Options,
+            title="Round complexity",
+            claim="Theorem 4 — the protocol completes in O(log n) rounds",
+            kind="honest", seed_strides=(7,))
 def run(opts: E2Options = E2Options()) -> tuple[Table, Table]:
     main = Table(
         headers=["n", "q", "schedule rounds", "find-min mean", "find-min max",

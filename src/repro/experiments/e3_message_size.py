@@ -15,6 +15,7 @@ from typing import Sequence
 from repro.analysis.scaling import fit_against
 from repro.analysis.stats import mean_ci
 from repro.experiments.dispatch import run_trials_fast
+from repro.experiments.registry import experiment
 from repro.experiments.workloads import balanced
 from repro.util.tables import Table
 
@@ -31,6 +32,10 @@ class E3Options:
     parallel: bool = True
 
 
+@experiment("e3", options=E3Options,
+            title="Message size",
+            claim="Theorem 4 — the largest message is O(log^2 n) bits",
+            kind="honest", seed_strides=(11,))
 def run(opts: E3Options = E3Options()) -> tuple[Table, Table]:
     main = Table(
         headers=["n", "max message bits (mean)", "max message bits (max)",

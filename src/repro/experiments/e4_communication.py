@@ -18,6 +18,7 @@ from repro.analysis.stats import mean_ci
 from repro.baselines.halpern_vilaca import run_halpern_vilaca
 from repro.baselines.local_broadcast import run_local_fair_election
 from repro.experiments.dispatch import run_trials_fast
+from repro.experiments.registry import experiment
 from repro.experiments.workloads import balanced
 from repro.util.tables import Table
 
@@ -34,6 +35,10 @@ class E4Options:
     parallel: bool = True
 
 
+@experiment("e4", options=E4Options,
+            title="Communication vs LOCAL baselines",
+            claim="headline — o(n^2) messages, O(n log^3 n) bits",
+            kind="honest", seed_strides=(13,))
 def run(opts: E4Options = E4Options()) -> tuple[Table, Table]:
     main = Table(
         headers=["n", "P messages", "LOCAL messages", "HV messages",

@@ -19,6 +19,7 @@ from typing import Sequence
 
 from repro.analysis.stats import wilson_interval
 from repro.experiments.dispatch import run_trials_fast
+from repro.experiments.registry import experiment
 from repro.experiments.workloads import balanced
 from repro.util.tables import Table
 
@@ -35,6 +36,11 @@ class E5Options:
     parallel: bool = True
 
 
+@experiment("e5", options=E5Options,
+            title="Good executions and coverage",
+            claim="Lemma 3 — executions are good w.h.p.; "
+                  "Lemma 6.1 — Commitment coverage",
+            kind="honest", seed_strides=(17,))
 def run(opts: E5Options = E5Options()) -> Table:
     table = Table(
         headers=["n", "gamma", "good rate", "good 95% CI low",

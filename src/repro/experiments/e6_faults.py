@@ -26,6 +26,7 @@ from repro.analysis.fairness import (
     total_variation,
 )
 from repro.experiments.dispatch import run_trials_fast
+from repro.experiments.registry import experiment
 from repro.experiments.workloads import balanced
 from repro.fastpath.batch import active_matrix
 from repro.util.rng import SeedTree
@@ -53,6 +54,10 @@ def _faults(placement: str, colors, alpha: float, seed: int) -> frozenset[int]:
     return color_targeted_faults(colors, "red", alpha)
 
 
+@experiment("e6", options=E6Options,
+            title="Permanent worst-case faults",
+            claim="Theorem 4 — tolerance of alpha*n permanent crashes",
+            kind="honest", seed_strides=(19,))
 def run(opts: E6Options = E6Options()) -> Table:
     table = Table(
         headers=["placement", "alpha", "gamma", "success rate",

@@ -31,6 +31,7 @@ from typing import Sequence
 
 from repro.analysis.equilibrium import estimate_utility
 from repro.experiments.dispatch import run_deviation_trials_fast
+from repro.experiments.registry import experiment
 from repro.experiments.workloads import skewed
 from repro.util.tables import Table
 
@@ -74,6 +75,10 @@ class E7Options:
         return frozenset(blues[:t])
 
 
+@experiment("e7", options=E7Options,
+            title="Deviation gains",
+            claim="Theorem 7 — whp t-strong equilibrium (gains <= 0)",
+            kind="deviation", seed_strides=(23,))
 def run(opts: E7Options = E7Options()) -> Table:
     table = Table(
         headers=["strategy", "t", "honest win", "deviant win",

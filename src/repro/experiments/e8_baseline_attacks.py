@@ -21,6 +21,7 @@ from repro.baselines.naive_gossip import run_naive_gossip
 from repro.baselines.polling import run_polling
 from repro.core.params import ProtocolParams
 from repro.experiments.dispatch import run_deviation_trials_fast
+from repro.experiments.registry import experiment
 from repro.experiments.runner import run_trials
 from repro.experiments.workloads import skewed
 from repro.util.tables import Table
@@ -60,6 +61,10 @@ def _polling_trial(args: tuple[int, float, int, bool]) -> tuple[bool, bool, int]
     return res.outcome == "blue", not res.converged, res.rounds
 
 
+@experiment("e8", options=E8Options,
+            title="Attacks on undefended baselines",
+            claim="motivation — the same attacks demolish prior protocols",
+            kind="mixed", seed_strides=(31, 53))
 def run(opts: E8Options = E8Options()) -> Table:
     table = Table(
         headers=["protocol", "attack", "attacker-color win rate",

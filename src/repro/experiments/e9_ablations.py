@@ -34,6 +34,7 @@ from typing import Sequence
 
 from repro.core.defenses import Defenses
 from repro.experiments.dispatch import run_deviation_trials_fast
+from repro.experiments.registry import experiment
 from repro.experiments.workloads import skewed
 from repro.util.tables import Table
 
@@ -54,6 +55,10 @@ class E9Options:
     parallel: bool = True
 
 
+@experiment("e9", options=E9Options,
+            title="Defence ablations",
+            claim="every defence layer of Protocol P is load-bearing",
+            kind="deviation", seed_strides=(37,))
 def run(opts: E9Options = E9Options()) -> Table:
     table = Table(
         headers=["defenses", "gamma", "attack", "attacker win rate",

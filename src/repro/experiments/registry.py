@@ -1,0 +1,201 @@
+"""The experiment registry: discoverable, options-typed experiment specs.
+
+Each experiment module declares itself with the :func:`experiment`
+decorator::
+
+    @experiment("e1", options=E1Options,
+                title="Fairness of the winning distribution",
+                claim="Theorem 4", kind="honest", seed_strides=(1000,))
+    def run(opts: E1Options = E1Options()) -> Table:
+        ...
+
+The decorator registers an :class:`ExperimentSpec` (binding the options
+dataclass to the runner) and wraps ``run`` so that it always returns a
+:class:`repro.results.ExperimentResult`: the body keeps building plain
+``Table`` objects exactly as before, and the wrapper captures them into
+typed row sections together with the run metadata — options, seed
+spine, engine tier, wall time and package version.  Rendering the
+result's tables reproduces the legacy text byte-for-byte.
+
+Lookup is lazy: :func:`get_experiment` imports the experiment's module
+on first use, so ``repro list``/CLI start-up stays cheap.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import importlib
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+from repro.results import ExperimentResult, ResultSection, build_meta
+from repro.util.tables import Table
+
+__all__ = [
+    "ExperimentSpec",
+    "experiment",
+    "experiment_names",
+    "get_experiment",
+    "iter_experiments",
+    "run_experiment",
+]
+
+#: Canonical experiment order and the module each one lives in.
+_MODULE_BY_NAME: dict[str, str] = {
+    "e1": "repro.experiments.e1_fairness",
+    "e2": "repro.experiments.e2_rounds",
+    "e3": "repro.experiments.e3_message_size",
+    "e4": "repro.experiments.e4_communication",
+    "e5": "repro.experiments.e5_good_executions",
+    "e6": "repro.experiments.e6_faults",
+    "e7": "repro.experiments.e7_equilibrium",
+    "e8": "repro.experiments.e8_baseline_attacks",
+    "e9": "repro.experiments.e9_ablations",
+    "e10": "repro.experiments.e10_extensions",
+}
+
+_REGISTRY: dict[str, "ExperimentSpec"] = {}
+
+#: What ``engine="auto"`` resolves to per experiment kind (DESIGN.md §1/§5).
+_AUTO_ENGINE = {"honest": "batch", "deviation": "batch-strategy",
+                "mixed": "batch-strategy"}
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment: its options type, runner and claim."""
+
+    name: str
+    options_cls: type
+    run: Callable[..., ExperimentResult]
+    title: str = ""
+    claim: str = ""
+    kind: str = "honest"
+    seed_strides: tuple[int, ...] = ()
+
+    def default_options(self) -> Any:
+        return self.options_cls()
+
+    def option_fields(self) -> tuple[dataclasses.Field, ...]:
+        return dataclasses.fields(self.options_cls)
+
+
+def _seed_spine(opts: Any, strides: Sequence[int]) -> dict[str, Any]:
+    return {
+        "base": getattr(opts, "seed", None),
+        "strides": list(strides),
+        "scheme": "trial i of a workload draws seed = base + stride*i",
+    }
+
+
+def experiment(
+    name: str,
+    *,
+    options: type,
+    title: str = "",
+    claim: str = "",
+    kind: str = "honest",
+    seed_strides: Sequence[int] = (),
+) -> Callable[[Callable], Callable[..., ExperimentResult]]:
+    """Register an experiment runner under ``name``.
+
+    ``options`` is the frozen options dataclass; ``kind`` tells the
+    metadata layer which tier ``engine="auto"`` routes to (``honest`` →
+    ``batch``, ``deviation``/``mixed`` → ``batch-strategy``);
+    ``seed_strides`` documents the per-trial seed derivation for the
+    result's seed spine.  The decorated function may keep returning a
+    ``Table`` (or tuple of tables); the wrapper converts to
+    :class:`ExperimentResult` and fills in the metadata.
+    """
+    if kind not in _AUTO_ENGINE:
+        raise ValueError(f"unknown experiment kind {kind!r}")
+    if not dataclasses.is_dataclass(options):
+        raise TypeError(f"options must be a dataclass, got {options!r}")
+
+    def decorate(fn: Callable) -> Callable[..., ExperimentResult]:
+        @functools.wraps(fn)
+        def run(opts: Any = None, /, **overrides: Any) -> ExperimentResult:
+            if opts is None:
+                opts = options(**overrides)
+            elif overrides:
+                opts = dataclasses.replace(opts, **overrides)
+            start = time.perf_counter()
+            out = fn(opts)
+            wall = time.perf_counter() - start
+            if isinstance(out, ExperimentResult):
+                return out
+            tables = out if isinstance(out, tuple) else (out,)
+            if not all(isinstance(t, Table) for t in tables):
+                raise TypeError(
+                    f"experiment {name!r} returned {type(out).__name__}; "
+                    "expected Table(s) or ExperimentResult"
+                )
+            engine = getattr(opts, "engine", None)
+            resolved = _AUTO_ENGINE[kind] if engine == "auto" else engine
+            return ExperimentResult(
+                experiment=name,
+                title=title,
+                claim=claim,
+                options=dataclasses.asdict(opts),
+                options_type=f"{options.__module__}.{options.__qualname__}",
+                sections=tuple(ResultSection.from_table(t) for t in tables),
+                meta=build_meta(
+                    wall_time_s=wall,
+                    engine=engine,
+                    resolved_engine=resolved,
+                    seed_spine=_seed_spine(opts, seed_strides),
+                ),
+            )
+
+        spec = ExperimentSpec(
+            name=name, options_cls=options, run=run, title=title,
+            claim=claim, kind=kind, seed_strides=tuple(seed_strides),
+        )
+        _REGISTRY[name] = spec
+        run.spec = spec  # type: ignore[attr-defined]
+        return run
+
+    return decorate
+
+
+def experiment_names() -> list[str]:
+    """All experiment names in canonical order (no module imports)."""
+    return list(_MODULE_BY_NAME)
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """The spec registered under ``name``, importing its module lazily."""
+    name = name.lower()
+    if name not in _REGISTRY:
+        module = _MODULE_BY_NAME.get(name)
+        if module is None:
+            known = ", ".join(experiment_names())
+            raise KeyError(f"unknown experiment {name!r}; known: {known}")
+        importlib.import_module(module)
+        if name not in _REGISTRY:  # pragma: no cover - registration bug
+            raise RuntimeError(
+                f"module {module} did not register experiment {name!r}"
+            )
+    return _REGISTRY[name]
+
+
+def iter_experiments() -> Iterator[ExperimentSpec]:
+    """Every experiment spec, in canonical order (imports all modules)."""
+    for name in experiment_names():
+        yield get_experiment(name)
+
+
+def run_experiment(
+    name: str,
+    opts: Any = None,
+    /,
+    **overrides: Any,
+) -> ExperimentResult:
+    """Run a registered experiment by name.
+
+    ``opts`` is a full options instance; alternatively pass field
+    overrides as keyword arguments (applied to the default options).
+    """
+    return get_experiment(name).run(opts, **overrides)

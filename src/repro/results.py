@@ -1,0 +1,434 @@
+"""Structured experiment results: typed records, persistence, resume keys.
+
+Every experiment ``run()`` returns an :class:`ExperimentResult` — the
+table *data* (typed row records grouped into :class:`ResultSection`\\ s)
+plus the run metadata (options, seed spine, engine tier, wall time,
+package version).  The rendered text of :meth:`ExperimentResult.tables`
+is byte-identical to the pre-redesign print-only output for the same
+options (regression-tested against ``tests/golden/``), while the same
+object serialises losslessly to JSON/JSONL/CSV and round-trips through
+:func:`load_result`.
+
+Persistence model
+-----------------
+A result is addressed by its **content-hash key**:
+``result_key(experiment, options)`` — a SHA-256 prefix of the canonical
+JSON of the (experiment name, options) pair.  ``save_result`` writes
+``<experiment>-<key>.json`` into an output directory; anything that can
+re-derive the options (a :class:`repro.study.Study` resuming a sweep,
+the CLI re-running a cell) checks for that file first and loads instead
+of re-running.  See DESIGN.md §7 for the schema and resume semantics.
+
+Cell values are normalised to JSON-native scalars (``None``/bool/int/
+float/str; NumPy scalars via ``.item()``, anything else via ``str``) at
+record time, which is render-neutral for every type the experiments
+emit.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import io
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.util.tables import Table
+
+__all__ = [
+    "SCHEMA",
+    "ExperimentResult",
+    "ResultMeta",
+    "ResultSection",
+    "build_meta",
+    "canonical_json",
+    "find_result",
+    "load_result",
+    "result_key",
+    "save_result",
+    "write_csv",
+    "write_json",
+    "write_jsonl",
+]
+
+#: Schema tag stamped into every serialised result.
+SCHEMA = "repro.experiment-result/v1"
+
+_FORMATS = ("json", "jsonl", "csv", "txt")
+
+
+def _package_version() -> str:
+    from repro import __version__  # deferred: repro/__init__ imports us
+
+    return __version__
+
+
+def _normalize_cell(value: Any) -> Any:
+    """Coerce a table cell to a JSON-native scalar.
+
+    NumPy scalars collapse via ``.item()``; anything that is not
+    ``None``/bool/int/float/str after that falls back to ``str``.  The
+    conversion is render-neutral: ``Table`` formats the normalised value
+    to the same text as the original.
+    """
+    if value is None:
+        return None
+    item = getattr(value, "item", None)
+    if item is not None:  # NumPy scalar (np.float64 subclasses float too)
+        try:
+            value = item()
+        except (ValueError, TypeError):
+            pass
+    if isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def _jsonify(value: Any) -> Any:
+    """Recursively convert a value to plain JSON types (lists, dicts)."""
+    if isinstance(value, Mapping):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (frozenset, set)):
+        return sorted(_jsonify(v) for v in value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return _normalize_cell(value)
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, jsonified values."""
+    return json.dumps(_jsonify(value), sort_keys=True, separators=(",", ":"))
+
+
+def result_key(experiment: str, options: Mapping[str, Any]) -> str:
+    """Content-hash key of an (experiment, options) cell.
+
+    Stable across save/load (tuples and lists canonicalise identically)
+    and across processes; used as the resume key for sweeps.
+    """
+    payload = canonical_json({"experiment": experiment, "options": options})
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class ResultSection:
+    """One table of an experiment result, as data.
+
+    ``headers``/``rows`` hold the typed cell values; ``title`` and
+    ``floatfmt`` carry everything :class:`~repro.util.tables.Table`
+    needs to re-render the section byte-for-byte.
+    """
+
+    headers: tuple[str, ...]
+    rows: tuple[tuple[Any, ...], ...]
+    title: str = ""
+    floatfmt: str = ".4g"
+
+    @classmethod
+    def from_table(cls, table: Table) -> "ResultSection":
+        """Capture a rendered-table's data, normalising every cell."""
+        return cls(
+            headers=tuple(str(h) for h in table.headers),
+            rows=tuple(
+                tuple(_normalize_cell(c) for c in row) for row in table.rows
+            ),
+            title=table.title,
+            floatfmt=table.floatfmt,
+        )
+
+    def table(self) -> Table:
+        """Rebuild the renderable :class:`Table` (byte-identical text)."""
+        t = Table(headers=list(self.headers), title=self.title,
+                  floatfmt=self.floatfmt)
+        for row in self.rows:
+            t.add_row(*row)
+        return t
+
+    def records(self) -> list[dict[str, Any]]:
+        """Rows as header-keyed dicts, in insertion order."""
+        return self.table().records()
+
+    def column(self, name: str) -> list[Any]:
+        """All values of the named column."""
+        try:
+            idx = self.headers.index(name)
+        except ValueError:
+            raise KeyError(f"no column named {name!r}") from None
+        return [row[idx] for row in self.rows]
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "title": self.title,
+            "headers": list(self.headers),
+            "floatfmt": self.floatfmt,
+            "rows": [list(row) for row in self.rows],
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "ResultSection":
+        return cls(
+            headers=tuple(data["headers"]),
+            rows=tuple(tuple(row) for row in data["rows"]),
+            title=data.get("title", ""),
+            floatfmt=data.get("floatfmt", ".4g"),
+        )
+
+
+@dataclass(frozen=True)
+class ResultMeta:
+    """Provenance of one experiment run.
+
+    ``seed_spine`` records how per-trial seeds derive from the base seed
+    (base + stride * trial-index, one stride per workload family);
+    ``engine`` is the requested simulation tier, ``resolved_engine`` the
+    tier ``auto`` routed to (DESIGN.md §1).
+    """
+
+    version: str = ""
+    wall_time_s: float | None = None
+    engine: str | None = None
+    resolved_engine: str | None = None
+    seed_spine: Mapping[str, Any] = field(default_factory=dict)
+    created_unix: float | None = None
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "version": self.version,
+            "wall_time_s": self.wall_time_s,
+            "engine": self.engine,
+            "resolved_engine": self.resolved_engine,
+            "seed_spine": _jsonify(self.seed_spine),
+            "created_unix": self.created_unix,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "ResultMeta":
+        return cls(
+            version=data.get("version", ""),
+            wall_time_s=data.get("wall_time_s"),
+            engine=data.get("engine"),
+            resolved_engine=data.get("resolved_engine"),
+            seed_spine=dict(data.get("seed_spine", {})),
+            created_unix=data.get("created_unix"),
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """A structured experiment outcome: sections of typed rows + metadata.
+
+    ``options`` is the plain-dict form of the experiment's options
+    dataclass (tuples become lists after a JSON round trip; the
+    content-hash :attr:`key` is invariant to that).
+    """
+
+    experiment: str
+    options: Mapping[str, Any]
+    sections: tuple[ResultSection, ...]
+    title: str = ""
+    claim: str = ""
+    options_type: str = ""
+    meta: ResultMeta = field(default_factory=ResultMeta)
+
+    @property
+    def key(self) -> str:
+        """Content-hash resume key of this (experiment, options) cell."""
+        return result_key(self.experiment, self.options)
+
+    def tables(self) -> tuple[Table, ...]:
+        """The renderable tables — byte-identical to the legacy output."""
+        return tuple(s.table() for s in self.sections)
+
+    def render(self) -> str:
+        """All sections rendered, double-newline separated."""
+        return "\n\n".join(t.render() for t in self.tables())
+
+    def records(self) -> list[dict[str, Any]]:
+        """Every row of every section as a flat list of dicts.
+
+        Each record carries its section index under ``"section"`` so
+        multi-table experiments stay distinguishable.
+        """
+        out = []
+        for i, section in enumerate(self.sections):
+            for rec in section.records():
+                out.append({"section": i, **rec})
+        return out
+
+    def column(self, name: str) -> list[Any]:
+        """The named column from the first section that has it."""
+        for section in self.sections:
+            if name in section.headers:
+                return section.column(name)
+        raise KeyError(f"no column named {name!r} in any section")
+
+    def canonical(self) -> str:
+        """Canonical JSON text (equality-comparable across round trips)."""
+        return canonical_json(self.to_json_dict())
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "experiment": self.experiment,
+            "title": self.title,
+            "claim": self.claim,
+            "options_type": self.options_type,
+            "options": _jsonify(self.options),
+            "key": self.key,
+            "meta": self.meta.to_json_dict(),
+            "sections": [s.to_json_dict() for s in self.sections],
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "ExperimentResult":
+        schema = data.get("schema")
+        if schema != SCHEMA:
+            raise ValueError(
+                f"unsupported result schema {schema!r} (expected {SCHEMA!r})"
+            )
+        return cls(
+            experiment=data["experiment"],
+            options=dict(data.get("options", {})),
+            sections=tuple(
+                ResultSection.from_json_dict(s)
+                for s in data.get("sections", [])
+            ),
+            title=data.get("title", ""),
+            claim=data.get("claim", ""),
+            options_type=data.get("options_type", ""),
+            meta=ResultMeta.from_json_dict(data.get("meta", {})),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Writers and loaders
+# ---------------------------------------------------------------------------
+
+def write_json(result: ExperimentResult, path: str | Path) -> Path:
+    """Write the full result as an indented JSON document."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(result.to_json_dict(), indent=2, sort_keys=False) + "\n"
+    )
+    return path
+
+
+def write_jsonl(result: ExperimentResult, path: str | Path) -> Path:
+    """Write one JSON object per table row (streaming-friendly).
+
+    Each line carries the experiment name, resume key and section index
+    next to the header-keyed row values, so concatenated JSONL files
+    from many runs stay self-describing.
+    """
+    path = Path(path)
+    key = result.key
+    with path.open("w") as fh:
+        for rec in result.records():
+            line = {"experiment": result.experiment, "key": key, **rec}
+            fh.write(json.dumps(_jsonify(line), sort_keys=False) + "\n")
+    return path
+
+
+def csv_sections(result: ExperimentResult) -> list[str]:
+    """Each section as CSV text (header row first, ``None`` as empty)."""
+    texts = []
+    for section in result.sections:
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow(section.headers)
+        for row in section.rows:
+            writer.writerow(["" if c is None else c for c in row])
+        texts.append(buf.getvalue())
+    return texts
+
+
+def write_csv(result: ExperimentResult, path: str | Path) -> list[Path]:
+    """Write each section as a CSV file.
+
+    Single-section results write exactly ``path``; multi-section results
+    write ``path.with_suffix(".N.csv")`` per section, N from 0.
+    """
+    path = Path(path)
+    texts = csv_sections(result)
+    if len(texts) == 1:
+        path.write_text(texts[0])
+        return [path]
+    paths = []
+    for i, text in enumerate(texts):
+        p = path.with_suffix(f".{i}.csv")
+        p.write_text(text)
+        paths.append(p)
+    return paths
+
+
+def save_result(
+    result: ExperimentResult,
+    out_dir: str | Path,
+    formats: Sequence[str] = ("json",),
+) -> list[Path]:
+    """Persist a result under its content-hash key.
+
+    Writes ``<experiment>-<key>.<ext>`` into ``out_dir`` for each
+    requested format (``json``, ``jsonl``, ``csv``, ``txt``) and returns
+    the paths.  The JSON file is the round-trippable source of truth;
+    the others are export conveniences.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = f"{result.experiment}-{result.key}"
+    paths: list[Path] = []
+    for fmt in formats:
+        if fmt not in _FORMATS:
+            raise ValueError(f"unknown format {fmt!r}; known: {_FORMATS}")
+        target = out_dir / f"{stem}.{fmt}"
+        if fmt == "json":
+            paths.append(write_json(result, target))
+        elif fmt == "jsonl":
+            paths.append(write_jsonl(result, target))
+        elif fmt == "csv":
+            paths.extend(write_csv(result, target))
+        else:
+            target.write_text(result.render() + "\n")
+            paths.append(target)
+    return paths
+
+
+def load_result(path: str | Path) -> ExperimentResult:
+    """Load a result saved by :func:`write_json`/:func:`save_result`."""
+    return ExperimentResult.from_json_dict(json.loads(Path(path).read_text()))
+
+
+def find_result(
+    out_dir: str | Path, experiment: str, options: Mapping[str, Any]
+) -> ExperimentResult | None:
+    """The saved result of an (experiment, options) cell, if present.
+
+    This is the resume primitive: compute the content-hash key, look for
+    its JSON file, and load it instead of re-running.  Returns ``None``
+    when the cell has not been computed (or was saved elsewhere).
+    """
+    path = Path(out_dir) / f"{experiment}-{result_key(experiment, options)}.json"
+    if not path.is_file():
+        return None
+    return load_result(path)
+
+
+def build_meta(
+    *,
+    wall_time_s: float | None = None,
+    engine: str | None = None,
+    resolved_engine: str | None = None,
+    seed_spine: Mapping[str, Any] | None = None,
+) -> ResultMeta:
+    """A :class:`ResultMeta` stamped with the package version and time."""
+    return ResultMeta(
+        version=_package_version(),
+        wall_time_s=wall_time_s,
+        engine=engine,
+        resolved_engine=resolved_engine,
+        seed_spine=dict(seed_spine or {}),
+        created_unix=time.time(),
+    )

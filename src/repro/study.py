@@ -1,0 +1,238 @@
+"""Parameter sweeps over registered experiments, with resume.
+
+A :class:`Study` grids over fields of an experiment's options dataclass
+and runs one :class:`~repro.results.ExperimentResult` per cell.  Cells
+fan through the same vectorised tiers the experiments use internally
+(``run_trials_fast`` / ``run_deviation_trials_fast``), so a sweep is a
+sequence of single-pass array workloads, not per-trial Python loops.
+
+Determinism and resume
+----------------------
+* **Per-cell seeds** — unless the grid pins ``seed`` explicitly, each
+  cell's seed derives from the study seed and the cell's assignment via
+  a stable hash (:func:`derive_cell_seed`): re-running the same study
+  reproduces every cell bit-for-bit, while distinct cells draw
+  independent seed spines.
+* **Skip-completed cells** — with an output directory, each finished
+  cell is saved under its content-hash key
+  (:func:`repro.results.save_result`); a re-run loads those files
+  instead of recomputing (``cached=True`` on the cell), so interrupted
+  sweeps resume where they stopped and finished grids re-slice for
+  free.
+
+Example::
+
+    study = Study("e1", {"gamma": [2.0, 3.0], "sizes": [(64,), (128,)]},
+                  trials=200)
+    sweep = study.run(out_dir="results/e1-gamma")
+    for rec in sweep.records():
+        print(rec["gamma"], rec["TV distance"])
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.experiments.registry import ExperimentSpec, get_experiment
+from repro.results import (
+    ExperimentResult,
+    canonical_json,
+    find_result,
+    result_key,
+    save_result,
+)
+
+__all__ = ["Study", "StudyCell", "StudyResult", "derive_cell_seed"]
+
+
+def derive_cell_seed(study_seed: int, assignment: Mapping[str, Any]) -> int:
+    """A deterministic 31-bit seed for one grid cell.
+
+    Stable across processes and Python versions (SHA-256 of the study
+    seed and the canonical-JSON assignment), and independent of the
+    order grid fields were declared in.
+    """
+    payload = f"{int(study_seed)}|{canonical_json(dict(assignment))}"
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % (2**31)
+
+
+@dataclass(frozen=True)
+class StudyCell:
+    """One grid cell: its assignment, options, resume key and result."""
+
+    assignment: Mapping[str, Any]
+    options: Any
+    key: str
+    result: ExperimentResult | None = None
+    cached: bool = False
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """The outcome of :meth:`Study.run`: every cell, in grid order."""
+
+    experiment: str
+    cells: tuple[StudyCell, ...]
+
+    def results(self) -> list[ExperimentResult]:
+        return [c.result for c in self.cells if c.result is not None]
+
+    def records(self) -> list[dict[str, Any]]:
+        """Every table row of every cell, tagged with its assignment.
+
+        The flattened form users re-slice: each record merges the cell's
+        grid assignment and resume key into the row's header-keyed
+        values (grid fields first, so row columns win name clashes).
+        """
+        out = []
+        for cell in self.cells:
+            if cell.result is None:
+                continue
+            for rec in cell.result.records():
+                out.append({**dict(cell.assignment), "cell_key": cell.key,
+                            **rec})
+        return out
+
+    def manifest(self) -> dict[str, Any]:
+        """A JSON-ready index of the sweep (cell keys + cache hits)."""
+        return {
+            "experiment": self.experiment,
+            "cells": [
+                {
+                    "assignment": dict(c.assignment),
+                    "key": c.key,
+                    "cached": c.cached,
+                }
+                for c in self.cells
+            ],
+        }
+
+
+class Study:
+    """A Cartesian sweep over an experiment's options fields.
+
+    Parameters
+    ----------
+    experiment:
+        Registered experiment name (``"e1"`` .. ``"e10"``).
+    grid:
+        Mapping of options-field name to the values to sweep.  Field
+        names are validated against the options dataclass eagerly.
+    seed:
+        Study seed for per-cell seed derivation.  Defaults to the base
+        options' own ``seed``; per-cell seeds derive from it unless the
+        grid sweeps ``seed`` itself.
+    base / **base_overrides:
+        The options shared by every cell: either a full options
+        instance, or field overrides applied to the defaults.
+    """
+
+    def __init__(
+        self,
+        experiment: str,
+        grid: Mapping[str, Sequence[Any]] | None = None,
+        *,
+        base: Any = None,
+        seed: int | None = None,
+        **base_overrides: Any,
+    ):
+        self.spec: ExperimentSpec = get_experiment(experiment)
+        if base is None:
+            base = self.spec.options_cls(**base_overrides)
+        elif base_overrides:
+            base = dataclasses.replace(base, **base_overrides)
+        self.base = base
+        field_names = {f.name for f in self.spec.option_fields()}
+        grid = dict(grid or {})
+        unknown = sorted(set(grid) - field_names)
+        if unknown:
+            raise ValueError(
+                f"unknown option field(s) {unknown} for experiment "
+                f"{self.spec.name!r}; valid fields: {sorted(field_names)}"
+            )
+        self.grid: dict[str, tuple[Any, ...]] = {
+            k: tuple(v) for k, v in grid.items()
+        }
+        self._derive_seeds = (
+            "seed" in field_names and "seed" not in self.grid
+        )
+        self.seed = (
+            seed if seed is not None else getattr(base, "seed", None)
+        )
+
+    def assignments(self) -> list[dict[str, Any]]:
+        """The grid's cells as field->value dicts, in declaration order."""
+        if not self.grid:
+            return [{}]
+        names = list(self.grid)
+        return [
+            dict(zip(names, values))
+            for values in itertools.product(*self.grid.values())
+        ]
+
+    def cell_options(self, assignment: Mapping[str, Any]) -> Any:
+        """The options instance of one cell (seed derived if applicable)."""
+        opts = dataclasses.replace(self.base, **assignment)
+        if self._derive_seeds and self.seed is not None:
+            opts = dataclasses.replace(
+                opts, seed=derive_cell_seed(self.seed, assignment)
+            )
+        return opts
+
+    def cells(self) -> list[StudyCell]:
+        """Every cell with its options and resume key, nothing run yet."""
+        out = []
+        for assignment in self.assignments():
+            opts = self.cell_options(assignment)
+            key = result_key(self.spec.name, dataclasses.asdict(opts))
+            out.append(StudyCell(assignment=assignment, options=opts,
+                                 key=key))
+        return out
+
+    def run(
+        self,
+        out_dir: str | Path | None = None,
+        *,
+        resume: bool = True,
+        save: bool = True,
+        progress: Callable[[StudyCell], None] | None = None,
+    ) -> StudyResult:
+        """Run (or resume) every cell of the grid, in order.
+
+        With ``out_dir``: previously saved cells load instead of running
+        (unless ``resume=False``), and fresh cells save on completion
+        (unless ``save=False``).  A saved cell is only reused when its
+        recorded package version matches the running one — the content
+        hash pins the *inputs*, the version gate pins the *code* — so a
+        sweep resumed after an upgrade recomputes rather than silently
+        mixing results from two implementations.  ``progress`` is
+        called with each finished :class:`StudyCell`.
+        """
+        from repro import __version__
+
+        done: list[StudyCell] = []
+        for cell in self.cells():
+            result, cached = None, False
+            if out_dir is not None and resume:
+                result = find_result(
+                    out_dir, self.spec.name,
+                    dataclasses.asdict(cell.options),
+                )
+                if result is not None and result.meta.version != __version__:
+                    result = None
+                cached = result is not None
+            if result is None:
+                result = self.spec.run(cell.options)
+                if out_dir is not None and save:
+                    save_result(result, out_dir)
+            cell = dataclasses.replace(cell, result=result, cached=cached)
+            done.append(cell)
+            if progress is not None:
+                progress(cell)
+        return StudyResult(experiment=self.spec.name, cells=tuple(done))

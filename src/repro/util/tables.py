@@ -57,6 +57,15 @@ class Table:
         for row in rows:
             self.add_row(*row)
 
+    def records(self) -> list[dict[str, Any]]:
+        """Rows as header-keyed dicts, in insertion order.
+
+        The single row-to-dict implementation:
+        :meth:`repro.results.ResultSection.records` (and through it the
+        JSONL writer and study flattening) delegates here.
+        """
+        return [dict(zip(self.headers, row)) for row in self.rows]
+
     def column(self, name: str) -> list[Any]:
         """All values of the named column, in insertion order."""
         try:

@@ -2,9 +2,26 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
+from golden_opts import GOLDEN_OPTS
 from repro.cli import build_parser, main
+from repro.experiments.registry import experiment_names
+from repro.results import load_result
+
+
+def _set_args(name: str, *, exclude: tuple[str, ...] = ()) -> list[str]:
+    """GOLDEN_OPTS as ``--set`` overrides (tiny, fixed-seed settings)."""
+    args = []
+    for field, value in GOLDEN_OPTS[name].items():
+        if field in exclude:
+            continue
+        text = (",".join(str(v) for v in value)
+                if isinstance(value, tuple) else str(value))
+        args += ["--set", f"{field}={text}"]
+    return args
 
 
 class TestParser:
@@ -74,6 +91,124 @@ class TestExperimentCommand:
         assert "Shape fits" in out
 
 
+class TestExperimentJSONSmoke:
+    """Every experiment runs end-to-end through the JSON-first CLI."""
+
+    @pytest.mark.parametrize("name", experiment_names())
+    def test_json_format(self, name, capsys):
+        rc = main(["experiment", name, "--format", "json", *_set_args(name)])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.experiment-result/v1"
+        assert doc["experiment"] == name
+        assert doc["sections"] and doc["sections"][0]["rows"]
+        assert doc["meta"]["version"]
+
+    def test_out_dir_round_trips(self, tmp_path, capsys):
+        rc = main(["experiment", "e1", "--format", "json",
+                   "--out", str(tmp_path), *_set_args("e1")])
+        assert rc == 0
+        captured = capsys.readouterr()
+        doc = json.loads(captured.out)
+        files = list(tmp_path.glob("e1-*.json"))
+        assert len(files) == 1
+        assert str(files[0]) in captured.err  # "saved:" note
+        loaded = load_result(files[0])
+        assert loaded.to_json_dict() == doc
+
+    def test_csv_format(self, capsys):
+        rc = main(["experiment", "e2", "--format", "csv", *_set_args("e2")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# E2  Round complexity" in out
+        assert out.count("# E2") == 2  # one comment header per section
+        assert "n,q,schedule rounds" in out
+
+    def test_trials_shortcut_equals_set(self, capsys):
+        rc = main(["experiment", "e1", "--trials", "7", "--format", "json",
+                   *_set_args("e1", exclude=("trials",))])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["options"]["trials"] == 7
+
+    def test_conflicting_trials_flag_and_set(self, capsys):
+        rc = main(["experiment", "e1", "--trials", "7",
+                   "--set", "trials=40"])
+        assert rc == 2
+        assert "conflicting" in capsys.readouterr().err
+
+    def test_all_validates_before_running(self, capsys):
+        # A value invalid for a later experiment must exit 2 before any
+        # experiment runs (no partial output or archives).
+        rc = main(["experiment", "all", "--set", "n=4.5"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "n" in captured.err
+        assert captured.out == ""
+
+
+class TestOverrideValidation:
+    def test_unknown_field_exits_2_with_valid_fields(self, capsys):
+        rc = main(["experiment", "e1", "--set", "bogus=1"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "unknown option field 'bogus'" in err
+        # the message enumerates the dataclass fields
+        for field in ("sizes", "workloads", "trials", "gamma", "seed"):
+            assert field in err
+
+    def test_malformed_pair_exits_2(self, capsys):
+        rc = main(["experiment", "e1", "--set", "trials"])
+        assert rc == 2
+        assert "FIELD=VALUE" in capsys.readouterr().err
+
+    def test_bad_value_exits_2(self, capsys):
+        rc = main(["experiment", "e1", "--set", "trials=lots"])
+        assert rc == 2
+        assert "trials" in capsys.readouterr().err
+
+    def test_bad_bool_exits_2(self, capsys):
+        rc = main(["experiment", "e1", "--set", "parallel=maybe"])
+        assert rc == 2
+        assert "boolean" in capsys.readouterr().err
+
+    def test_sequence_coercion(self, capsys):
+        rc = main(["experiment", "e1", "--format", "json", "--serial",
+                   "--set", "sizes=16,24", "--set", "workloads=balanced",
+                   "--set", "trials=4"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["options"]["sizes"] == [16, 24]
+        assert doc["options"]["workloads"] == ["balanced"]
+        assert doc["options"]["parallel"] is False
+
+
+class TestExperimentAll:
+    def test_all_runs_each_registered_experiment(self, monkeypatch, capsys):
+        from repro.experiments import registry
+
+        # Shrink the registry so "all" stays a tiny workload.
+        monkeypatch.setattr(registry, "_MODULE_BY_NAME", {
+            "e1": "repro.experiments.e1_fairness",
+            "e2": "repro.experiments.e2_rounds",
+        })
+        rc = main(["experiment", "all", "--format", "json",
+                   "--set", "sizes=16,24", "--set", "workloads=balanced",
+                   "--set", "trials=4", "--serial"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        docs, idx, dec = [], 0, json.JSONDecoder()
+        while idx < len(captured.out):
+            if captured.out[idx].isspace():
+                idx += 1
+                continue
+            doc, idx = dec.raw_decode(captured.out, idx)
+            docs.append(doc)
+        assert [d["experiment"] for d in docs] == ["e1", "e2"]
+        # e2 has no 'workloads' field: skipped with a note, not an error.
+        assert "skipped" in captured.err
+
+
 class TestListCommand:
     def test_lists_everything(self, capsys):
         rc = main(["list"])
@@ -82,3 +217,16 @@ class TestListCommand:
         assert "underbid_alter" in out
         assert "leader_election" in out
         assert "e10" in out
+
+    def test_json_listing_machine_readable(self, capsys):
+        rc = main(["list", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "underbid_alter" in doc["strategies"]
+        assert "leader_election" in doc["workloads"]
+        by_name = {e["name"]: e for e in doc["experiments"]}
+        assert sorted(by_name) == sorted(experiment_names())
+        e1 = by_name["e1"]
+        assert e1["options"]["trials"] == 400
+        assert e1["options_type"].endswith("E1Options")
+        assert e1["title"] and e1["claim"]

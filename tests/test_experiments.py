@@ -65,8 +65,8 @@ class TestWorkloads:
 
 class TestE1:
     def test_fairness_direction(self):
-        table = run_e1(E1Options(sizes=(32,), workloads=("balanced",),
-                                 trials=120, parallel=False))
+        table, = run_e1(E1Options(sizes=(32,), workloads=("balanced",),
+                                  trials=120, parallel=False)).tables()
         assert len(table.rows) == 1
         tv = table.column("TV distance")[0]
         assert tv < 0.15  # fair up to Monte-Carlo noise
@@ -76,7 +76,7 @@ class TestE1:
 class TestE2:
     def test_log_fit_beats_linear(self):
         main, fits = run_e2(E2Options(sizes=(32, 64, 128, 256, 512),
-                                      trials=10, parallel=False))
+                                      trials=10, parallel=False)).tables()
         assert len(main.rows) == 5
         rows = {(r[0], r[1]): r for r in
                 zip(fits.column("quantity"), fits.column("fitted shape"),
@@ -89,7 +89,7 @@ class TestE2:
 class TestE3:
     def test_log2_fit_wins(self):
         main, fits = run_e3(E3Options(sizes=(32, 64, 128, 256, 512, 1024),
-                                      trials=8, parallel=False))
+                                      trials=8, parallel=False)).tables()
         r2 = dict(zip(fits.column("fitted shape"), fits.column("R^2")))
         assert r2["log^2 n"] > 0.98
         assert r2["log^2 n"] > r2["n"]
@@ -98,7 +98,7 @@ class TestE3:
 class TestE4:
     def test_protocol_beats_local_at_scale(self):
         main, _fits = run_e4(E4Options(sizes=(32, 256), trials=5,
-                                       parallel=False))
+                                       parallel=False)).tables()
         ratios = main.column("msg ratio (P/LOCAL)")
         assert ratios[-1] < 1.0        # P wins at n=256
         assert ratios[-1] < ratios[0]  # and the advantage grows
@@ -106,8 +106,8 @@ class TestE4:
 
 class TestE5:
     def test_gamma_buys_goodness(self):
-        table = run_e5(E5Options(sizes=(64,), gammas=(0.5, 3.0), trials=60,
-                                 parallel=False))
+        table, = run_e5(E5Options(sizes=(64,), gammas=(0.5, 3.0), trials=60,
+                                  parallel=False)).tables()
         rates = table.column("good rate")
         assert rates[1] >= rates[0]
         assert rates[1] > 0.9
@@ -115,9 +115,9 @@ class TestE5:
 
 class TestE6:
     def test_success_with_moderate_faults(self):
-        table = run_e6(E6Options(n=64, alphas=(0.0, 0.4), gammas=(4.0,),
-                                 placements=("random",), trials=40,
-                                 parallel=False))
+        table, = run_e6(E6Options(n=64, alphas=(0.0, 0.4), gammas=(4.0,),
+                                  placements=("random",), trials=40,
+                                  parallel=False)).tables()
         for rate in table.column("success rate"):
             assert rate > 0.9
 
@@ -127,10 +127,10 @@ class TestE7Smoke:
     def test_no_profitable_strategy_at_toy_scale(self):
         from repro.experiments.e7_equilibrium import E7Options, run as run_e7
 
-        table = run_e7(E7Options(
+        table, = run_e7(E7Options(
             n=24, trials=30,
             strategies=("silent", "underbid_alter", "griefing"),
             coalition_sizes=(1,), parallel=False,
-        ))
+        )).tables()
         for profitable in table.column("profitable?"):
             assert not profitable

@@ -25,7 +25,7 @@ class TestTopLevelExports:
     def test_version_present(self):
         import repro
 
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
 
 class TestSubpackagesImportClean:
@@ -35,6 +35,7 @@ class TestSubpackagesImportClean:
         "repro.baselines", "repro.fastpath", "repro.analysis",
         "repro.analysis.theory", "repro.analysis.report",
         "repro.experiments", "repro.experiments.workloads",
+        "repro.experiments.registry", "repro.results", "repro.study",
         "repro.extensions", "repro.cli", "repro.util",
     ])
     def test_import(self, module):
