@@ -1,0 +1,248 @@
+"""Perf benchmark: per-agent graph runs vs the batched CSR tier.
+
+Times the full E10a workload — every scenario of the default matrix at
+the new paper-scale defaults (n = 512, 500 trials per scenario) — on
+the batched ``batch`` engine, against the per-agent
+``run_graph_protocol`` path it replaced.  The agent engine needs
+~0.5–1 s per trial at n = 512, so timing the full grid there would take
+the better part of an hour; instead the benchmark measures per-trial
+samples per scenario and extrapolates (the JSON records both the raw
+sample timings and the extrapolation, clearly labelled).
+
+A second, fully *measured* point runs both engines end-to-end at a
+small size (n = 64) so the speedup claim does not rest on extrapolation
+alone, and a third point times the sequential-model lockstep tier
+against its scalar reference.
+
+Graph sampling is shared input for every engine (both tiers consume the
+same prebuilt CSRs), so it is timed separately and excluded from the
+speedup ratio.
+
+Acceptance bar (ISSUE 4): >= 20x on the n = 512 E10a grid.  Results are
+archived to ``BENCH_graphs.json`` at the repo root.
+
+Runs standalone too:
+``PYTHONPATH=src python benchmarks/bench_graphs.py``
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.dispatch import (
+    run_async_trials_fast,
+    run_graph_trials_fast,
+)
+from repro.experiments.e10_extensions import _DEFAULT_SCENARIOS
+from repro.experiments.workloads import balanced
+from repro.extensions.families import sample_scenario_workload
+from repro.util.tables import Table
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_graphs.json"
+
+# The headline grid: ISSUE 4's acceptance point (the E10a defaults).
+HEADLINE_N = 512
+HEADLINE_TRIALS = 500
+GAMMA = 3.0
+CHURN_RATE = 0.05
+BASE_SEED = 1010
+# Agent-engine sample size per scenario for the extrapolation.
+AGENT_SAMPLE_TRIALS = 2
+# Fully measured cross-check point.
+SMALL_N = 64
+SMALL_TRIALS = 40
+SMALL_SCENARIOS = ("er_dense", "regular8", "star")
+# Sequential-model point.
+ASYNC_N = 1024
+ASYNC_TRIALS = 160
+
+
+def _workload(scenario: str, n: int, trials: int):
+    """The exact E10a workload definition (one source of truth)."""
+    wl = sample_scenario_workload(
+        scenario, n, trials, BASE_SEED, churn_rate=CHURN_RATE
+    )
+    return wl.csrs, list(wl.faulty), list(wl.seeds)
+
+
+def measure() -> dict:
+    colors = balanced(HEADLINE_N)
+
+    # --- shared input: sample every scenario's graphs once.
+    t0 = time.perf_counter()
+    workloads = {
+        sc: _workload(sc, HEADLINE_N, HEADLINE_TRIALS)
+        for sc in _DEFAULT_SCENARIOS
+    }
+    sampling_s = time.perf_counter() - t0
+
+    # --- batch engine: the full grid, measured end-to-end.
+    t0 = time.perf_counter()
+    rates = {}
+    for sc, (csrs, faulty, seeds) in workloads.items():
+        res = run_graph_trials_fast(
+            csrs, colors, seeds, gamma=GAMMA, faulty=faulty, engine="batch",
+        )
+        rates[sc] = {
+            "success": round(res.success_rate(), 4),
+            "zero_vote_mean": round(res.zero_vote_mean(), 2),
+            "split": round(res.split_rate(), 4),
+        }
+    batch_grid_s = time.perf_counter() - t0
+
+    # --- agent engine: per-trial samples, extrapolated to the grid.
+    samples = {}
+    per_trial = []
+    for sc, (csrs, faulty, seeds) in workloads.items():
+        sub_faulty = (
+            faulty[:AGENT_SAMPLE_TRIALS] if isinstance(faulty, list)
+            else faulty
+        )
+        t0 = time.perf_counter()
+        run_graph_trials_fast(
+            csrs[:AGENT_SAMPLE_TRIALS], colors, seeds[:AGENT_SAMPLE_TRIALS],
+            gamma=GAMMA, faulty=sub_faulty, engine="agent", parallel=False,
+        )
+        dt = (time.perf_counter() - t0) / AGENT_SAMPLE_TRIALS
+        samples[sc] = round(dt, 3)
+        per_trial.append(dt)
+    mean_trial_s = sum(per_trial) / len(per_trial)
+    agent_grid_est_s = mean_trial_s * HEADLINE_TRIALS * len(workloads)
+
+    # --- fully measured small point (no extrapolation).
+    small_colors = balanced(SMALL_N)
+    small = {
+        sc: _workload(sc, SMALL_N, SMALL_TRIALS) for sc in SMALL_SCENARIOS
+    }
+    t0 = time.perf_counter()
+    for sc, (csrs, faulty, seeds) in small.items():
+        run_graph_trials_fast(
+            csrs, small_colors, seeds, gamma=GAMMA, faulty=faulty,
+            engine="batch",
+        )
+    small_batch_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for sc, (csrs, faulty, seeds) in small.items():
+        run_graph_trials_fast(
+            csrs, small_colors, seeds, gamma=GAMMA, faulty=faulty,
+            engine="agent", parallel=False,
+        )
+    small_agent_s = time.perf_counter() - t0
+
+    # --- sequential model: lockstep tier vs the scalar reference.
+    async_seeds = list(range(ASYNC_TRIALS))
+    t0 = time.perf_counter()
+    run_async_trials_fast(ASYNC_N, async_seeds, engine="batch")
+    async_batch_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    run_async_trials_fast(
+        ASYNC_N, async_seeds, engine="agent", parallel=False
+    )
+    async_scalar_s = time.perf_counter() - t0
+
+    return {
+        "benchmark": "graphs",
+        "gamma": GAMMA,
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "headline": {
+            "n": HEADLINE_N,
+            "trials_per_scenario": HEADLINE_TRIALS,
+            "scenarios": list(_DEFAULT_SCENARIOS),
+            "graph_sampling_s_shared_input": round(sampling_s, 2),
+            "batch_grid_s": round(batch_grid_s, 2),
+            "agent_per_trial_sample_s": samples,
+            "agent_sample_trials_per_scenario": AGENT_SAMPLE_TRIALS,
+            "agent_grid_estimated_s": round(agent_grid_est_s, 1),
+            "speedup_vs_agent_estimate": round(
+                agent_grid_est_s / batch_grid_s, 1
+            ),
+            "scenario_rates": rates,
+        },
+        "measured_small_point": {
+            "n": SMALL_N,
+            "trials_per_scenario": SMALL_TRIALS,
+            "scenarios": list(SMALL_SCENARIOS),
+            "batch_s": round(small_batch_s, 3),
+            "agent_s": round(small_agent_s, 3),
+            "speedup_measured": round(small_agent_s / small_batch_s, 1),
+        },
+        "sequential_model_point": {
+            "n": ASYNC_N,
+            "trials": ASYNC_TRIALS,
+            "lockstep_batch_s": round(async_batch_s, 2),
+            "scalar_s": round(async_scalar_s, 2),
+            "speedup_measured": round(async_scalar_s / async_batch_s, 1),
+        },
+    }
+
+
+def report(results: dict) -> Table:
+    head = results["headline"]
+    small = results["measured_small_point"]
+    asy = results["sequential_model_point"]
+    table = Table(
+        headers=["workload", "batch tier (s)", "reference tier (s)",
+                 "speedup"],
+        title="Graph & async tiers vs their reference engines (E10)",
+    )
+    table.add_row(
+        f"E10a grid n={head['n']}, {head['trials_per_scenario']} trials x "
+        f"{len(head['scenarios'])} scenarios",
+        head["batch_grid_s"],
+        f"{head['agent_grid_estimated_s']} (extrapolated)",
+        f"{head['speedup_vs_agent_estimate']}x",
+    )
+    table.add_row(
+        f"measured point n={small['n']}, {small['trials_per_scenario']} "
+        f"trials x {len(small['scenarios'])} scenarios",
+        small["batch_s"],
+        f"{small['agent_s']} (measured)",
+        f"{small['speedup_measured']}x",
+    )
+    table.add_row(
+        f"sequential model n={asy['n']}, {asy['trials']} trials",
+        asy["lockstep_batch_s"],
+        f"{asy['scalar_s']} (measured)",
+        f"{asy['speedup_measured']}x",
+    )
+    return table
+
+
+def run() -> dict:
+    results = measure()
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def test_graph_tier_speedup(benchmark, emit):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("graphs_speedup", report(results))
+    head = results["headline"]
+    # ISSUE 4 acceptance bar: >= 20x on the full E10a grid at n = 512.
+    assert head["speedup_vs_agent_estimate"] >= 20.0
+    # The fully measured point must clear the same bar without any
+    # extrapolation.
+    assert results["measured_small_point"]["speedup_measured"] >= 20.0
+    # The open-problem shape survives the tier change: expanders succeed,
+    # the ring's diameter kills the O(log n) schedule, the star's leaves
+    # are disenfranchised.
+    rates = head["scenario_rates"]
+    assert rates["complete"]["success"] > 0.95
+    assert rates["ring"]["success"] < 0.1
+    assert rates["star"]["zero_vote_mean"] > head["n"] / 2
+    assert RESULT_PATH.exists()
+
+
+if __name__ == "__main__":
+    out = run()
+    print(report(out).render())
+    print(f"\nwrote {RESULT_PATH}")

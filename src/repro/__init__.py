@@ -17,7 +17,7 @@ Quickstart::
 See ``examples/`` and README.md for more.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.core import (
     Certificate,

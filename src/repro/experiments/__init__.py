@@ -27,8 +27,11 @@ E10          conclusions — other graphs; sequential GOSSIP
 
 from repro.experiments import workloads
 from repro.experiments.dispatch import (
+    AsyncBatchResult,
     choose_engine,
+    run_async_trials_fast,
     run_deviation_trials_fast,
+    run_graph_trials_fast,
     run_trials_fast,
 )
 from repro.experiments.registry import (
@@ -42,14 +45,17 @@ from repro.experiments.registry import (
 from repro.experiments.runner import run_trials
 
 __all__ = [
+    "AsyncBatchResult",
     "ExperimentSpec",
     "choose_engine",
     "experiment",
     "experiment_names",
     "get_experiment",
     "iter_experiments",
+    "run_async_trials_fast",
     "run_deviation_trials_fast",
     "run_experiment",
+    "run_graph_trials_fast",
     "run_trials",
     "run_trials_fast",
     "workloads",

@@ -34,10 +34,22 @@ routed to the vectorised strategy tier (``batch-strategy``, the
 default) or to the exact agent engine (``process``/``agent``), always
 returning a :class:`repro.fastpath.strategies.StrategyBatchResult`.
 See DESIGN.md §5 for the strategy tier's fidelity contract.
+
+:func:`run_graph_trials_fast` and :func:`run_async_trials_fast` are the
+front doors for the open-problem workloads (E10).  Graph-restricted
+Protocol P routes to the batched CSR tier
+(:mod:`repro.fastpath.graphs`; ``batch`` statistical / ``batch-parity``
+bit-exact) or to the per-agent ``run_graph_protocol``
+(``process``/``agent``); the sequential GOSSIP model routes to the
+lockstep tick simulator (``batch``) or to the scalar reference loop
+(``process``/``agent`` — there is no message-level engine for the
+sequential model; the scalar tick loop *is* the reference tier).  See
+DESIGN.md §8 for both fidelity contracts.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Hashable, Iterable, Sequence
 
 import numpy as np
@@ -46,25 +58,40 @@ from repro.agents.plans import plan as make_plan
 from repro.core.defenses import FULL_DEFENSES, Defenses
 from repro.core.protocol import ProtocolConfig, run_protocol
 from repro.experiments.runner import run_trials
+from repro.extensions.async_gossip import (
+    async_min_ticks,
+    async_min_ticks_batch,
+    run_async_leader_election,
+    run_async_leader_election_batch,
+)
+from repro.extensions.families import GraphCSR, csr_from_networkx
 from repro.fastpath.batch import (
     FastBatchResult,
     batch_from_runs,
     simulate_protocol_fast_batch,
 )
+from repro.fastpath.graphs import GraphBatchResult, simulate_graph_fast_batch
 from repro.fastpath.simulate import FastRunResult, simulate_protocol_fast
 from repro.fastpath.strategies import (
     StrategyBatchResult,
     simulate_strategy_fast_batch,
 )
+from repro.util.faults import normalise_faulty
+from repro.util.rng import SeedTree
 
 __all__ = [
+    "AsyncBatchResult",
     "choose_engine",
+    "run_async_trials_fast",
     "run_deviation_trials_fast",
+    "run_graph_trials_fast",
     "run_trials_fast",
 ]
 
 _ENGINES = ("auto", "batch", "batch-parity", "process", "agent")
 _DEVIATION_ENGINES = ("auto", "batch-strategy", "process", "agent")
+_GRAPH_ENGINES = ("auto", "batch", "batch-parity", "process", "agent")
+_ASYNC_ENGINES = ("auto", "batch", "process", "agent")
 
 
 def choose_engine(
@@ -322,4 +349,236 @@ def run_deviation_trials_fast(
         split=np.array([r[3] for r in rows], dtype=bool),
         forged=np.array([r[4] for r in rows], dtype=bool),
         exposed_members=np.array([r[5] for r in rows], dtype=np.int64),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Graph-restricted (E10a) workloads
+# ---------------------------------------------------------------------------
+
+def _normalise_graphs(
+    graphs, n_trials: int
+) -> list[GraphCSR]:
+    """One CSR per trial from a single graph / per-trial graphs, in
+    either CSR or ``networkx`` form (shared objects stay shared, so the
+    batch tier can skip replicating the neighbour arrays)."""
+    if isinstance(graphs, GraphCSR) or not isinstance(
+        graphs, (list, tuple)
+    ):
+        one = (graphs if isinstance(graphs, GraphCSR)
+               else csr_from_networkx(graphs))
+        return [one] * n_trials
+    csrs = [
+        g if isinstance(g, GraphCSR) else csr_from_networkx(g)
+        for g in graphs
+    ]
+    if len(csrs) == 1:
+        csrs = csrs * n_trials
+    if len(csrs) != n_trials:
+        raise ValueError(f"got {len(csrs)} graphs for {n_trials} trials")
+    return csrs
+
+
+def _graph_agent_worker(
+    args: tuple[GraphCSR, tuple[Hashable, ...], float, tuple[int, ...], int]
+) -> tuple[int, bool, int, int, int, bool, int]:
+    """One per-agent graph trial, packed into the batch record shape."""
+    from repro.extensions.topologies import run_graph_protocol
+
+    csr, colors, gamma, faulty, seed = args
+    res = run_graph_protocol(
+        csr.to_networkx(), colors, gamma=gamma, seed=seed,
+        faulty=frozenset(faulty),
+    )
+    palette = list(dict.fromkeys(colors))
+    return (
+        csr.n - len(faulty),
+        res.outcome is not None,
+        res.winner if res.winner is not None else -1,
+        palette.index(res.outcome) if res.outcome is not None else -1,
+        res.zero_vote_agents,
+        res.split,
+        res.failed_agents,
+    )
+
+
+def run_graph_trials_fast(
+    graphs,
+    colors: Sequence[Hashable],
+    seeds: Sequence[int],
+    *,
+    gamma: float = 3.0,
+    faulty: frozenset[int] | Iterable[frozenset[int]] | None = frozenset(),
+    engine: str = "auto",
+    parallel: bool = True,
+    max_workers: int | None = None,
+) -> GraphBatchResult:
+    """Run one graph-restricted Monte-Carlo workload on the chosen engine.
+
+    ``graphs`` is one graph shared by every trial or one per trial
+    (:class:`~repro.extensions.families.GraphCSR` or ``nx.Graph``).
+    Engines:
+
+    ``batch`` (the ``auto`` default)
+        The batched CSR tier in statistical mode
+        (:func:`repro.fastpath.graphs.simulate_graph_fast_batch`).
+    ``batch-parity``
+        The same tier replaying each agent's named streams — per-trial
+        observables bit-identical to ``run_graph_protocol``.
+    ``process`` / ``agent``
+        The per-agent engine (``run_graph_protocol``) over the process
+        pool, or inline.
+    """
+    if engine not in _GRAPH_ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; known: {_GRAPH_ENGINES}"
+        )
+    colors = tuple(colors)
+    seeds = [int(s) for s in seeds]
+    csrs = _normalise_graphs(graphs, len(seeds))
+    # Validate once so every tier accepts and rejects the same inputs.
+    faulty_list = normalise_faulty(faulty, len(seeds), len(colors))
+    if engine == "auto":
+        engine = "batch"
+    if engine in ("batch", "batch-parity"):
+        return simulate_graph_fast_batch(
+            csrs, colors, seeds, gamma=gamma, faulty=faulty_list,
+            seed_parity=(engine == "batch-parity"),
+        )
+
+    rows = run_trials(
+        _graph_agent_worker,
+        [(c, colors, gamma, tuple(sorted(f)), s)
+         for c, f, s in zip(csrs, faulty_list, seeds)],
+        parallel=(parallel and engine == "process"),
+        max_workers=max_workers,
+    )
+    cols = list(zip(*rows)) if rows else [[]] * 7
+    return GraphBatchResult(
+        n=len(colors),
+        n_trials=len(seeds),
+        colors=colors,
+        n_active=np.array(cols[0], dtype=np.int64),
+        success=np.array(cols[1], dtype=bool),
+        winner=np.array(cols[2], dtype=np.int64),
+        outcome_idx=np.array(cols[3], dtype=np.int64),
+        zero_vote_agents=np.array(cols[4], dtype=np.int64),
+        split=np.array(cols[5], dtype=bool),
+        failed_agents=np.array(cols[6], dtype=np.int64),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sequential GOSSIP (E10b) workloads
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AsyncBatchResult:
+    """Struct-of-arrays result of B sequential-model trials.
+
+    Each trial runs the E10b pair of measurements: min-aggregation over
+    a fresh value vector (``child("vals")`` of the trial seed) and the
+    fair leader election (:mod:`repro.extensions.async_gossip`)."""
+
+    n: int
+    n_trials: int
+    minagg_ticks: np.ndarray         # (B,) int64
+    election_converged: np.ndarray   # (B,) bool
+    election_winner: np.ndarray      # (B,) int64, -1: budget exhausted
+    election_ticks: np.ndarray       # (B,) int64
+
+    def __len__(self) -> int:
+        return self.n_trials
+
+    def minagg_ratio(self) -> np.ndarray:
+        """Ticks normalised by the classic n log2 n sequential bound."""
+        return self.minagg_ticks / (self.n * np.log2(self.n))
+
+    def election_converged_rate(self) -> float:
+        if self.n_trials == 0:
+            raise ValueError("empty batch has no rates")
+        return float(np.count_nonzero(self.election_converged)) \
+            / self.n_trials
+
+
+def _async_values(n: int, seed: int) -> np.ndarray:
+    """The E10b min-aggregation workload: n u.a.r. values in [n^3]."""
+    return SeedTree(seed).child("vals").generator().integers(n ** 3, size=n)
+
+
+def _async_agent_worker(
+    args: tuple[int, tuple[Hashable, ...], float, int]
+) -> tuple[int, bool, int, int]:
+    n, colors, factor, seed = args
+    ticks = int(async_min_ticks(_async_values(n, seed), seed=seed))
+    el = run_async_leader_election(
+        colors, seed=seed, tick_budget_factor=factor
+    )
+    return (ticks, el.converged,
+            el.winner if el.winner is not None else -1, el.ticks)
+
+
+def run_async_trials_fast(
+    n: int,
+    seeds: Sequence[int],
+    *,
+    colors: Sequence[Hashable] | None = None,
+    tick_budget_factor: float = 8.0,
+    engine: str = "auto",
+    parallel: bool = True,
+    max_workers: int | None = None,
+) -> AsyncBatchResult:
+    """Run one sequential-model Monte-Carlo workload on the chosen engine.
+
+    ``batch`` (the ``auto`` default) is the lockstep tick simulator —
+    tick counts identical to the scalar tier seed-for-seed; ``process``
+    fans the scalar reference loop over the process pool; ``agent``
+    runs it inline (the sequential model has no message-level engine —
+    the scalar tick loop *is* the reference).
+    """
+    if engine not in _ASYNC_ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; known: {_ASYNC_ENGINES}"
+        )
+    if colors is None:
+        colors = tuple(f"id{i}" for i in range(n))
+    colors = tuple(colors)
+    if len(colors) != n:
+        raise ValueError(f"{len(colors)} colors for n={n}")
+    seeds = [int(s) for s in seeds]
+    if engine == "auto":
+        engine = "batch"
+    if engine == "batch":
+        values = np.stack([_async_values(n, s) for s in seeds]) \
+            if seeds else np.zeros((0, n), dtype=np.int64)
+        minagg = async_min_ticks_batch(values, seeds) if seeds else \
+            np.zeros(0, dtype=np.int64)
+        if seeds:
+            conv, winner, eticks = run_async_leader_election_batch(
+                colors, seeds, tick_budget_factor
+            )
+        else:
+            conv = np.zeros(0, dtype=bool)
+            winner = np.zeros(0, dtype=np.int64)
+            eticks = np.zeros(0, dtype=np.int64)
+        return AsyncBatchResult(
+            n=n, n_trials=len(seeds), minagg_ticks=minagg,
+            election_converged=conv, election_winner=winner,
+            election_ticks=eticks,
+        )
+
+    rows = run_trials(
+        _async_agent_worker,
+        [(n, colors, tick_budget_factor, s) for s in seeds],
+        parallel=(parallel and engine == "process"),
+        max_workers=max_workers,
+    )
+    cols = list(zip(*rows)) if rows else [[]] * 4
+    return AsyncBatchResult(
+        n=n,
+        n_trials=len(seeds),
+        minagg_ticks=np.array(cols[0], dtype=np.int64),
+        election_converged=np.array(cols[1], dtype=bool),
+        election_winner=np.array(cols[2], dtype=np.int64),
+        election_ticks=np.array(cols[3], dtype=np.int64),
     )

@@ -1,83 +1,65 @@
 """E10 — the open problems: other graphs; the sequential GOSSIP model.
 
-Part A (topologies): Protocol P with neighbour-restricted gossip on
-Erdős–Rényi graphs of decreasing density, a random-regular graph and a
-ring.  Measured: success rate, agents with zero votes (the fairness
-hazard), and silent splits.  Expected shape: dense graphs behave like
-the complete graph; sparse/high-diameter graphs break termination
-(Find-Min can't finish in O(log n)) before they break fairness.
+Part A (topologies): Protocol P with neighbour-restricted gossip over
+the full scenario matrix (:data:`repro.extensions.families.GRAPH_KINDS`
+— Erdős–Rényi at two densities, random-regular, ring, Barabási–Albert,
+Watts–Strogatz small-world, 2-D torus, star — plus a churn scenario
+with nodes crashing at a configurable rate).  Measured per scenario:
+success rate, agents with zero votes (the fairness hazard), silent
+splits, and the edges the explicit connectivity patch added (the
+previously silent densification of the sparse families).  Expected
+shape: expander-like graphs behave like the complete graph; sparse or
+high-diameter graphs break termination (Find-Min's spread is governed
+by conductance, so the fixed O(log n) schedule fails) before they
+break fairness; the star breaks fairness outright (leaves receive no
+votes).
 
 Part B (sequential model): ticks for async min-aggregation to converge,
 normalised by n log2 n (the classic sequential-gossip bound), and the
 async fair-leader-election convergence rate.
+
+Both parts run on the batched tiers by default
+(:func:`repro.experiments.dispatch.run_graph_trials_fast` /
+:func:`run_async_trials_fast`); ``engine`` falls back to the per-agent
+or scalar reference tiers.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Sequence
 
-import networkx as nx
+import numpy as np
 
 from repro.analysis.stats import mean_ci
+from repro.experiments.dispatch import (
+    run_async_trials_fast,
+    run_graph_trials_fast,
+)
 from repro.experiments.registry import experiment
-from repro.experiments.runner import run_trials
 from repro.experiments.workloads import balanced
-from repro.extensions.async_gossip import async_min_ticks, run_async_leader_election
-from repro.extensions.topologies import run_graph_protocol
-from repro.util.rng import SeedTree
+from repro.extensions.families import sample_scenario_workload
 from repro.util.tables import Table
 
 __all__ = ["E10Options", "run"]
 
+_DEFAULT_SCENARIOS = (
+    "complete", "er_dense", "regular8", "er_sparse", "ring",
+    "ba", "ws", "torus", "star", "regular8+churn",
+)
+
 
 @dataclass(frozen=True)
 class E10Options:
-    n: int = 64
-    trials: int = 30
+    n: int = 512
+    trials: int = 500
     gamma: float = 3.0
+    scenarios: Sequence[str] = _DEFAULT_SCENARIOS
+    churn_rate: float = 0.05
     async_sizes: Sequence[int] = (64, 256, 1024)
     seed: int = 1010
+    engine: str = "auto"
     parallel: bool = True
-
-
-def _graph(kind: str, n: int, seed: int) -> nx.Graph:
-    if kind == "complete":
-        return nx.complete_graph(n)
-    if kind == "er_dense":
-        return nx.gnp_random_graph(n, 0.5, seed=seed)
-    if kind == "er_sparse":
-        p = 3 * math.log(n) / n  # just above the connectivity threshold
-        return nx.gnp_random_graph(n, p, seed=seed)
-    if kind == "regular8":
-        return nx.random_regular_graph(8, n, seed=seed)
-    if kind == "ring":
-        return nx.cycle_graph(n)
-    raise ValueError(f"unknown graph kind {kind!r}")
-
-
-def _ensure_connected(g: nx.Graph, n: int) -> nx.Graph:
-    """Patch isolated/disconnected parts with a Hamiltonian cycle."""
-    for i in range(n):
-        g.add_edge(i, (i + 1) % n)
-    return g
-
-
-def _graph_trial(args: tuple[str, int, float, int]) -> tuple[bool, int, bool]:
-    kind, n, gamma, seed = args
-    g = _ensure_connected(_graph(kind, n, seed), n)
-    res = run_graph_protocol(g, balanced(n), gamma=gamma, seed=seed)
-    return res.outcome is not None, res.zero_vote_agents, res.split
-
-
-def _async_trial(args: tuple[int, int]) -> tuple[float, bool]:
-    n, seed = args
-    rng = SeedTree(seed).child("vals").generator()
-    values = rng.integers(n ** 3, size=n).astype(float).tolist()
-    ticks = async_min_ticks(values, seed=seed)
-    election = run_async_leader_election(balanced(n), seed=seed)
-    return ticks / (n * math.log2(n)), election.converged
 
 
 @experiment("e10", options=E10Options,
@@ -87,28 +69,38 @@ def _async_trial(args: tuple[int, int]) -> tuple[float, bool]:
 def run(opts: E10Options = E10Options()) -> tuple[Table, Table]:
     topo = Table(
         headers=["graph", "success rate", "mean zero-vote agents",
-                 "silent split rate"],
+                 "silent split rate", "mean patched edges"],
         title=f"E10a  Protocol P on other graphs (n = {opts.n})",
     )
-    for kind in ("complete", "er_dense", "regular8", "er_sparse", "ring"):
-        args = [
-            (kind, opts.n, opts.gamma, opts.seed + 41 * i)
-            for i in range(opts.trials)
-        ]
-        rows = run_trials(_graph_trial, args, parallel=opts.parallel)
-        success = sum(1 for ok, _, _ in rows if ok)
-        zero, _ = mean_ci([z for _, z, _ in rows])
-        splits = sum(1 for _, _, s in rows if s)
-        topo.add_row(kind, success / opts.trials, zero, splits / opts.trials)
+    for scenario in opts.scenarios:
+        wl = sample_scenario_workload(
+            scenario, opts.n, opts.trials, opts.seed,
+            churn_rate=opts.churn_rate,
+        )
+        res = run_graph_trials_fast(
+            wl.csrs, balanced(opts.n), wl.seeds, gamma=opts.gamma,
+            faulty=wl.faulty, engine=opts.engine, parallel=opts.parallel,
+        )
+        topo.add_row(scenario, res.success_rate(), res.zero_vote_mean(),
+                     res.split_rate(), wl.mean_patched_edges)
 
     asy = Table(
         headers=["n", "min-agg ticks / (n log2 n)", "async election converged"],
         title="E10b  Sequential GOSSIP (one random agent awake per tick)",
     )
+    async_engine = (
+        "batch" if opts.engine in ("auto", "batch", "batch-parity")
+        else opts.engine
+    )
     for n in opts.async_sizes:
-        args = [(n, opts.seed + 43 * i) for i in range(max(5, opts.trials // 3))]
-        rows = run_trials(_async_trial, args, parallel=opts.parallel)
-        ratio, _ = mean_ci([r for r, _ in rows])
-        conv = sum(1 for _, c in rows if c)
-        asy.add_row(n, ratio, f"{conv}/{len(rows)}")
+        seeds = [
+            opts.seed + 43 * i for i in range(max(5, opts.trials // 3))
+        ]
+        ares = run_async_trials_fast(
+            n, seeds, colors=balanced(n), engine=async_engine,
+            parallel=opts.parallel,
+        )
+        ratio, _ = mean_ci(ares.minagg_ratio())
+        conv = int(np.count_nonzero(ares.election_converged))
+        asy.add_row(n, ratio, f"{conv}/{len(seeds)}")
     return topo, asy

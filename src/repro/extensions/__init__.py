@@ -16,13 +16,41 @@ reports the measurements.
 
 from repro.extensions.async_gossip import (
     async_min_ticks,
+    async_min_ticks_batch,
+    async_min_trace,
+    election_keys,
     run_async_leader_election,
+    run_async_leader_election_batch,
+)
+from repro.extensions.families import (
+    DETERMINISTIC_KINDS,
+    GRAPH_KINDS,
+    PATCHED_KINDS,
+    GraphCSR,
+    GraphSample,
+    csr_from_networkx,
+    sample_churn_faulty,
+    sample_graph,
+    split_scenario,
 )
 from repro.extensions.topologies import GraphRunResult, run_graph_protocol
 
 __all__ = [
+    "DETERMINISTIC_KINDS",
+    "GRAPH_KINDS",
+    "PATCHED_KINDS",
+    "GraphCSR",
     "GraphRunResult",
+    "GraphSample",
     "async_min_ticks",
+    "async_min_ticks_batch",
+    "async_min_trace",
+    "csr_from_networkx",
+    "election_keys",
     "run_async_leader_election",
+    "run_async_leader_election_batch",
     "run_graph_protocol",
+    "sample_churn_faulty",
+    "sample_graph",
+    "split_scenario",
 ]

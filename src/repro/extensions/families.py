@@ -1,0 +1,321 @@
+"""Graph families for the topology experiments, in CSR form.
+
+E10a runs Protocol P on one freshly sampled graph per trial, so graph
+construction sits on the hot path of the batched tier.  This module owns
+the scenario matrix end to end:
+
+* :class:`GraphCSR` — the shared adjacency representation of both
+  simulation tiers: per-node neighbour offsets plus one flat neighbour
+  array, rows sorted ascending.  Sorted rows matter for cross-tier
+  parity: :class:`~repro.extensions.topologies.GraphAgent` sorts its
+  neighbour list, so "neighbour index i" means the same vertex on every
+  engine.
+* the family registry (:data:`GRAPH_KINDS` / :func:`sample_graph`) —
+  numpy-native samplers for the structured and Erdős–Rényi families,
+  networkx for the preferential-attachment/small-world/regular ones.
+* **explicit connectivity patching** — kinds whose samplers can emit
+  disconnected graphs (:data:`PATCHED_KINDS`) get the Hamiltonian-cycle
+  patch, and the number of edges the patch *added* is reported per
+  sample (``GraphSample.patched_edges``).  Before this was explicit, the
+  E10 driver ring-patched every kind silently, densifying the
+  ``er_sparse``/``ring`` statistics without a trace in the results.
+* **churn scenarios** — ``"<kind>+churn"`` reuses the permanent-fault
+  machinery: each trial draws an i.i.d. fault set (rate
+  ``churn_rate``), modelling nodes that crash during the run.  (The
+  paper's fault model is adversarial-but-permanent; sampling the set
+  per trial is the natural Monte-Carlo churn analogue and keeps both
+  engines bit-compatible, since ``faulty`` is already a first-class
+  input everywhere.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.util.rng import SeedTree
+
+__all__ = [
+    "DETERMINISTIC_KINDS",
+    "GRAPH_KINDS",
+    "PATCHED_KINDS",
+    "GraphCSR",
+    "GraphSample",
+    "ScenarioWorkload",
+    "csr_from_edges",
+    "csr_from_networkx",
+    "sample_churn_faulty",
+    "sample_graph",
+    "sample_scenario_workload",
+    "split_scenario",
+]
+
+#: Scenario-matrix families, in canonical row order.
+GRAPH_KINDS = (
+    "complete", "er_dense", "regular8", "er_sparse", "ring",
+    "ba", "ws", "torus", "star",
+)
+
+#: Kinds whose samplers may emit disconnected graphs (or isolated
+#: vertices) and therefore receive the explicit Hamiltonian-cycle patch.
+#: The structured families (complete/ring/torus/star) are connected by
+#: construction, and Barabási–Albert attaches every new vertex to an
+#: existing one, so they are never patched.
+PATCHED_KINDS = frozenset({"er_dense", "er_sparse", "regular8", "ws"})
+
+#: Kinds whose sample ignores the seed entirely — one instance per
+#: (kind, n).  Callers batching many trials can sample once and share
+#: the CSR (the batched tier then skips replicating the flat
+#: neighbour array across the block).
+DETERMINISTIC_KINDS = frozenset({"complete", "ring", "torus", "star"})
+
+_CHURN_SUFFIX = "+churn"
+
+
+@dataclass(frozen=True)
+class GraphCSR:
+    """Undirected simple graph on ``0..n-1`` in CSR adjacency form.
+
+    ``nbrs[indptr[u]:indptr[u+1]]`` are ``u``'s neighbours, sorted
+    ascending — so a uniform neighbour draw is one gather, and neighbour
+    *indices* agree with the sorted lists the per-agent tier uses.
+    """
+
+    n: int
+    indptr: np.ndarray   # (n+1,) int64, monotone
+    nbrs: np.ndarray     # (2E,) int64
+
+    @property
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def neighbors(self, u: int) -> np.ndarray:
+        return self.nbrs[self.indptr[u]:self.indptr[u + 1]]
+
+    def edge_count(self) -> int:
+        return int(self.nbrs.size) // 2
+
+    def to_networkx(self):
+        """The same graph as ``nx.Graph`` (for the per-agent tier)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        u = np.repeat(np.arange(self.n, dtype=np.int64), self.degrees)
+        mask = u < self.nbrs  # each undirected edge once
+        g.add_edges_from(zip(u[mask].tolist(), self.nbrs[mask].tolist()))
+        return g
+
+
+@dataclass(frozen=True)
+class GraphSample:
+    """One sampled scenario graph plus its patching provenance."""
+
+    kind: str
+    csr: GraphCSR
+    patched_edges: int
+
+
+def _codes_to_csr(n: int, codes: np.ndarray) -> GraphCSR:
+    """CSR from unique undirected edge codes ``u * n + v`` with u < v."""
+    u, v = codes // n, codes % n
+    ends = np.concatenate([u, v])
+    other = np.concatenate([v, u])
+    order = np.lexsort((other, ends))
+    nbrs = other[order]
+    counts = np.bincount(ends, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return GraphCSR(n=n, indptr=indptr, nbrs=nbrs.astype(np.int64))
+
+
+def csr_from_edges(n: int, edges: np.ndarray) -> GraphCSR:
+    """Build a :class:`GraphCSR` from an ``(E, 2)`` edge array.
+
+    Self-loops are rejected; duplicate/reversed edges are collapsed.
+    """
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if edges.size and (edges[:, 0] == edges[:, 1]).any():
+        raise ValueError("self-loops are outside the gossip model")
+    lo = edges.min(axis=1)
+    hi = edges.max(axis=1)
+    codes = np.unique(lo * n + hi)
+    return _codes_to_csr(n, codes)
+
+
+def csr_from_networkx(graph) -> GraphCSR:
+    """CSR adjacency of an ``nx.Graph`` labelled ``0..n-1``."""
+    n = graph.number_of_nodes()
+    if set(graph.nodes) != set(range(n)):
+        raise ValueError("graph nodes must be exactly 0..n-1")
+    if n == 0:
+        raise ValueError("empty graph")
+    edges = np.array(
+        [e for e in graph.edges if e[0] != e[1]], dtype=np.int64
+    ).reshape(-1, 2)
+    return csr_from_edges(n, edges)
+
+
+@lru_cache(maxsize=32)
+def _ring_codes(n: int) -> np.ndarray:
+    i = np.arange(n, dtype=np.int64)
+    j = (i + 1) % n
+    return np.unique(np.minimum(i, j) * n + np.maximum(i, j))
+
+
+def _patch_connected(n: int, codes: np.ndarray) -> tuple[np.ndarray, int]:
+    """Union with the Hamiltonian cycle; returns (codes, edges added)."""
+    patched = np.union1d(codes, _ring_codes(n))
+    return patched, int(patched.size - codes.size)
+
+
+def _torus_dims(n: int) -> tuple[int, int]:
+    """The most square ``a * b = n`` factorisation (a <= b)."""
+    a = int(math.isqrt(n))
+    while a > 1 and n % a:
+        a -= 1
+    return a, n // a
+
+
+def _sample_codes(kind: str, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Edge codes for the numpy-native families."""
+    i = np.arange(n, dtype=np.int64)
+    if kind == "complete":
+        u, v = np.triu_indices(n, k=1)
+        return u.astype(np.int64) * n + v
+    if kind in ("er_dense", "er_sparse"):
+        p = 0.5 if kind == "er_dense" else min(1.0, 3 * math.log(n) / n)
+        u, v = np.triu_indices(n, k=1)
+        keep = rng.random(u.size) < p
+        return np.sort(u[keep].astype(np.int64) * n + v[keep])
+    if kind == "ring":
+        return _ring_codes(n)
+    if kind == "star":
+        return i[1:].copy()  # codes 0 * n + v for the hub edges (0, v)
+    if kind == "torus":
+        a, b = _torus_dims(n)
+        if a < 2:  # prime n: the torus degenerates to the cycle
+            return _ring_codes(n)
+        r, c = i // b, i % b
+        right = r * b + (c + 1) % b
+        down = ((r + 1) % a) * b + c
+        ends = np.concatenate([right, down])
+        starts = np.concatenate([i, i])
+        lo = np.minimum(starts, ends)
+        hi = np.maximum(starts, ends)
+        return np.unique(lo * n + hi)
+    raise ValueError(f"unknown numpy-native graph kind {kind!r}")
+
+
+def sample_graph(kind: str, n: int, seed: int) -> GraphSample:
+    """Sample one scenario graph (deterministic in ``(kind, n, seed)``).
+
+    Kinds in :data:`PATCHED_KINDS` are made connected by the explicit
+    Hamiltonian-cycle patch; ``patched_edges`` counts the edges the
+    patch added (0 for the never-patched kinds).
+    """
+    if kind not in GRAPH_KINDS:
+        raise ValueError(f"unknown graph kind {kind!r}; known: {GRAPH_KINDS}")
+    if n < 4:
+        raise ValueError(f"graph scenarios need n >= 4, got {n}")
+    if kind in ("complete", "ring", "star", "torus", "er_dense", "er_sparse"):
+        rng = SeedTree(seed).child("graph", kind).generator()
+        codes = _sample_codes(kind, n, rng)
+    else:
+        import networkx as nx
+
+        if kind == "regular8":
+            g = nx.random_regular_graph(min(8, n - 1), n, seed=seed)
+        elif kind == "ba":
+            g = nx.barabasi_albert_graph(n, min(4, n - 1), seed=seed)
+        elif kind == "ws":
+            g = nx.watts_strogatz_graph(n, min(8, n - 2), 0.1, seed=seed)
+        else:  # pragma: no cover - guarded by GRAPH_KINDS above
+            raise ValueError(kind)
+        ends = np.array(list(g.edges), dtype=np.int64).reshape(-1, 2)
+        lo, hi = ends.min(axis=1), ends.max(axis=1)
+        codes = np.unique(lo * n + hi)
+    patched = 0
+    if kind in PATCHED_KINDS:
+        codes, patched = _patch_connected(n, codes)
+    return GraphSample(kind=kind, csr=_codes_to_csr(n, codes),
+                       patched_edges=patched)
+
+
+def split_scenario(scenario: str) -> tuple[str, bool]:
+    """``"ws+churn"`` → ``("ws", True)``; plain kinds → ``(kind, False)``."""
+    if scenario.endswith(_CHURN_SUFFIX):
+        return scenario[: -len(_CHURN_SUFFIX)], True
+    return scenario, False
+
+
+@dataclass(frozen=True)
+class ScenarioWorkload:
+    """One scenario's full Monte-Carlo input: per-trial graphs, fault
+    sets and seeds — the shared workload definition of the experiment,
+    the conformance suite and the benchmark (so they cannot drift)."""
+
+    scenario: str
+    samples: tuple[GraphSample, ...]
+    faulty: tuple[frozenset[int], ...]
+    seeds: tuple[int, ...]
+
+    @property
+    def csrs(self) -> list[GraphCSR]:
+        return [s.csr for s in self.samples]
+
+    @property
+    def mean_patched_edges(self) -> float:
+        return float(np.mean([s.patched_edges for s in self.samples]))
+
+
+def sample_scenario_workload(
+    scenario: str,
+    n: int,
+    trials: int,
+    base_seed: int,
+    churn_rate: float = 0.05,
+    seed_stride: int = 41,
+) -> ScenarioWorkload:
+    """Assemble one E10a scenario workload deterministically.
+
+    Trial ``i`` uses seed ``base_seed + seed_stride * i`` (E10's seed
+    spine).  Deterministic kinds sample one graph and share it across
+    trials (the batch tier then skips replicating the flat neighbour
+    arrays); churn scenarios draw one i.i.d. fault set per trial.
+    """
+    kind, churn = split_scenario(scenario)
+    seeds = tuple(base_seed + seed_stride * i for i in range(trials))
+    if kind in DETERMINISTIC_KINDS:
+        samples: tuple[GraphSample, ...] = \
+            (sample_graph(kind, n, base_seed),) * trials
+    else:
+        samples = tuple(sample_graph(kind, n, s) for s in seeds)
+    faulty = (
+        tuple(sample_churn_faulty(n, churn_rate, s) for s in seeds)
+        if churn else (frozenset(),) * trials
+    )
+    return ScenarioWorkload(
+        scenario=scenario, samples=samples, faulty=faulty, seeds=seeds,
+    )
+
+
+def sample_churn_faulty(n: int, rate: float, seed: int) -> frozenset[int]:
+    """The trial's crashed-node set: i.i.d. Bernoulli(``rate``) per node.
+
+    Deterministic in ``(n, rate, seed)`` and guaranteed to leave at
+    least two active agents (the protocol's minimum), so a churn trial
+    is always runnable on every engine.
+    """
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"churn rate must be in [0, 1), got {rate}")
+    rng = SeedTree(seed).child("churn").generator()
+    mask = rng.random(n) < rate
+    alive = np.flatnonzero(~mask)
+    if alive.size < 2:
+        mask[:] = True
+        mask[:2] = False
+    return frozenset(np.flatnonzero(mask).tolist())

@@ -15,6 +15,13 @@ What degrades, and why (measured in E10):
   least one vote.  Isolated or low-degree vertices may receive none,
   giving them ``k = 0`` — on sparse Erdős–Rényi graphs below the
   connectivity threshold this visibly skews the election.
+
+This module is the *reference tier* for graph-restricted runs: the
+batched CSR simulator (:mod:`repro.fastpath.graphs`) reproduces its
+per-trial observables bit-exactly in seed-parity mode
+(``tests/test_graph_conformance.py``) and carries the E10 Monte-Carlo
+load; this engine remains the ground truth and the only tier that can
+host deviating agents on graphs.
 """
 
 from __future__ import annotations

@@ -27,6 +27,7 @@ from repro.fastpath.batch import (
     batch_from_runs,
     simulate_protocol_fast_batch,
 )
+from repro.fastpath.graphs import GraphBatchResult, simulate_graph_fast_batch
 from repro.fastpath.simulate import FastRunResult, simulate_protocol_fast
 from repro.fastpath.strategies import (
     StrategyBatchResult,
@@ -36,8 +37,10 @@ from repro.fastpath.strategies import (
 __all__ = [
     "FastBatchResult",
     "FastRunResult",
+    "GraphBatchResult",
     "StrategyBatchResult",
     "batch_from_runs",
+    "simulate_graph_fast_batch",
     "simulate_protocol_fast",
     "simulate_protocol_fast_batch",
     "simulate_strategy_fast_batch",

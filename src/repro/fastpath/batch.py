@@ -67,6 +67,7 @@ from repro.fastpath.simulate import (
     _offset_self,
     _peer_dtype,
 )
+from repro.util.faults import normalise_faulty
 from repro.util.rng import SeedTree
 
 __all__ = [
@@ -215,19 +216,9 @@ class FastBatchResult:
         return int(observed.min()) if observed.size else None
 
 
-def _normalise_faulty(
-    faulty: frozenset[int] | Iterable[frozenset[int]] | None, n_trials: int
-) -> list[frozenset[int]]:
-    if faulty is None:
-        return [frozenset()] * n_trials
-    if isinstance(faulty, (set, frozenset)):
-        return [frozenset(faulty)] * n_trials
-    per_trial = [frozenset(f) for f in faulty]
-    if len(per_trial) != n_trials:
-        raise ValueError(
-            f"got {len(per_trial)} fault sets for {n_trials} trials"
-        )
-    return per_trial
+# The shared faults-to-per-trial convention (kept under its historical
+# private name for in-package callers).
+_normalise_faulty = normalise_faulty
 
 
 def simulate_protocol_fast_batch(

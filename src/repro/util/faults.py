@@ -1,0 +1,40 @@
+"""Shared normalisation of per-trial permanent-fault sets.
+
+Every batched tier accepts ``faulty`` as a single set applied to all
+trials, ``None``, or one set per trial (the churn scenarios).  This is
+the one implementation of that convention; the engine front doors in
+``repro.experiments.dispatch`` validate through it so every tier
+accepts and rejects exactly the same inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["normalise_faulty"]
+
+
+def normalise_faulty(
+    faulty: frozenset[int] | Iterable[frozenset[int]] | None,
+    n_trials: int,
+    n: int | None = None,
+) -> list[frozenset[int]]:
+    """One fault set per trial; ``n`` (when given) validates labels."""
+    if faulty is None:
+        per_trial = [frozenset()] * n_trials
+    elif isinstance(faulty, (set, frozenset)):
+        per_trial = [frozenset(faulty)] * n_trials
+    else:
+        per_trial = [frozenset(f) for f in faulty]
+        if len(per_trial) != n_trials:
+            raise ValueError(
+                f"got {len(per_trial)} fault sets for {n_trials} trials"
+            )
+    if n is not None:
+        for f in per_trial:
+            for label in f:
+                if not 0 <= label < n:
+                    raise ValueError(
+                        f"faulty label {label} out of range for n={n}"
+                    )
+    return per_trial

@@ -1,0 +1,185 @@
+"""Property-based tests (hypothesis) for the sequential GOSSIP model.
+
+The properties pin what the open-problem explorations ride on:
+
+* the tick count of sequential min-aggregation depends on the values
+  only through their *order* — any strictly monotone relabelling of the
+  value vector leaves the trajectory unchanged (so measuring with draws
+  in ``[n^3]``, ranks, or floats is the same experiment);
+* the holder count (agents holding the global active minimum) is
+  monotone non-decreasing tick by tick, and convergence means exactly
+  "all active agents hold it";
+* faulty agents never acquire the minimum (they never wake) and never
+  leak their value into the active population (pulling them times out);
+* the lockstep batch tier agrees with the scalar reference tier
+  seed-for-seed, for min-aggregation and for the leader election;
+* the election's int64 ``(draw, label)`` keys preserve the exact
+  lexicographic order at sizes where the replaced float encoding
+  provably collapses neighbouring labels (the ``n^4 > 2^53`` hazard).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.extensions.async_gossip import (
+    async_min_ticks,
+    async_min_ticks_batch,
+    async_min_trace,
+    election_keys,
+    run_async_leader_election,
+    run_async_leader_election_batch,
+)
+from repro.util.rng import SeedTree
+
+seeds_st = st.integers(0, 2 ** 31 - 1)
+values_st = st.lists(st.integers(0, 500), min_size=2, max_size=24)
+
+
+def _faulty_st(n: int):
+    return st.sets(st.integers(0, n - 1), max_size=n - 1).map(frozenset)
+
+
+@settings(max_examples=40, deadline=None)
+@given(values_st, seeds_st, st.integers(1, 9), st.integers(0, 100))
+def test_ticks_invariant_under_monotone_relabelling(values, seed, a, b):
+    """Affine (and rank) relabellings preserve every comparison, hence
+    the whole trajectory and the tick count."""
+    base = async_min_ticks(values, seed=seed)
+    affine = [a * v + b for v in values]
+    assert async_min_ticks(affine, seed=seed) == base
+    ranks = {v: r for r, v in enumerate(sorted(set(values)))}
+    assert async_min_ticks([ranks[v] for v in values], seed=seed) == base
+    assert async_min_ticks([float(v) for v in values], seed=seed) == base
+
+
+@settings(max_examples=40, deadline=None)
+@given(values_st, seeds_st)
+def test_holders_monotone_and_converged_means_all(values, seed):
+    trace = async_min_trace(values, seed=seed, max_ticks=2000)
+    holders = trace.holders
+    assert all(b >= a for a, b in zip(holders, holders[1:]))
+    assert len(holders) == trace.ticks
+    target = min(values)
+    final_holders = int((trace.final_values == target).sum())
+    if trace.converged:
+        assert final_holders == len(values)
+        # An all-minimum start converges at tick 0 with an empty log.
+        assert (holders[-1] if holders else final_holders) == len(values)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(4, 16).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.integers(0, 500), min_size=n, max_size=n),
+        _faulty_st(n), seeds_st,
+    )
+))
+def test_faulty_agents_never_acquire_or_leak_the_minimum(case):
+    values, faulty, seed = case
+    n = len(values)
+    if len(faulty) >= n:
+        return
+    trace = async_min_trace(values, seed=seed, max_ticks=3000, faulty=faulty)
+    initial = np.array(values)
+    active = np.ones(n, dtype=bool)
+    if faulty:
+        active[list(faulty)] = False
+    # Faulty agents never wake: their value is frozen.
+    assert (trace.final_values[~active] == initial[~active]).all()
+    # Faulty values never circulate: every active agent's final value is
+    # one it could have pulled from the active population.
+    target = initial[active].min()
+    assert (trace.final_values[active] >= target).all()
+    active_initial = set(initial[active].tolist())
+    for v in trace.final_values[active].tolist():
+        assert v in active_initial
+    if trace.converged:
+        assert (trace.final_values[active] == target).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(2, 12),
+    st.integers(1, 5),
+    seeds_st,
+    st.booleans(),
+)
+def test_batch_tier_matches_scalar_tier_seed_for_seed(
+    n, n_trials, seed0, with_faulty
+):
+    seeds = [seed0 + 7 * i for i in range(n_trials)]
+    values = np.stack([
+        SeedTree(s).child("vals").generator().integers(n ** 3, size=n)
+        for s in seeds
+    ])
+    faulty = frozenset({0}) if with_faulty and n > 2 else frozenset()
+    max_ticks = 600
+    scalar = [
+        async_min_ticks(values[b], seed=s, max_ticks=max_ticks,
+                        faulty=faulty)
+        for b, s in enumerate(seeds)
+    ]
+    batch = async_min_ticks_batch(values, seeds, max_ticks=max_ticks,
+                                  faulty=faulty)
+    assert batch.tolist() == scalar
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(4, 24), st.integers(1, 4), seeds_st)
+def test_election_batch_matches_scalar_seed_for_seed(n, n_trials, seed0):
+    colors = [f"c{i % 3}" for i in range(n)]
+    seeds = [seed0 + 11 * i for i in range(n_trials)]
+    conv, winner, ticks = run_async_leader_election_batch(colors, seeds)
+    for b, s in enumerate(seeds):
+        el = run_async_leader_election(colors, seed=s)
+        assert bool(conv[b]) == el.converged
+        assert int(winner[b]) == (
+            el.winner if el.winner is not None else -1
+        )
+        assert int(ticks[b]) == el.ticks
+
+
+class TestElectionKeyPrecision:
+    """Regression for the float-key hazard: ``draws * n + label`` in
+    float64 loses the lexicographic order once ``n^4 > 2^53``."""
+
+    N_BIG = 1 << 14  # n^4 = 2^56 > 2^53: float keys provably collide
+
+    def test_float_encoding_collides_where_int64_does_not(self):
+        x = self.N_BIG ** 3 - 5
+        f1, f2 = float(x * self.N_BIG + 1), float(x * self.N_BIG + 2)
+        assert f1 == f2                      # the hazard this PR removes
+        assert x * self.N_BIG + 1 != x * self.N_BIG + 2
+
+    def test_keys_are_exact_int64_and_lexicographic(self):
+        keys = election_keys(self.N_BIG, seed=42)
+        assert keys.dtype == np.int64
+        draws = keys // self.N_BIG
+        labels = keys % self.N_BIG
+        assert np.array_equal(labels, np.arange(self.N_BIG))
+        # Sorting by key is exactly the lexicographic (draw, label) sort.
+        assert np.array_equal(
+            np.argsort(keys, kind="stable"),
+            np.lexsort((labels, draws)),
+        )
+        # Equal draws are strictly ordered by label (floats would tie).
+        dup = np.flatnonzero(draws[:-1] == draws[1:])
+        for i in dup.tolist():
+            assert keys[i] < keys[i + 1]
+
+    def test_faulty_keys_are_sentinels(self):
+        keys = election_keys(64, seed=3, faulty=frozenset({5, 9}))
+        assert keys[5] == np.iinfo(np.int64).max
+        assert keys[9] == np.iinfo(np.int64).max
+        assert int(np.argmin(keys)) not in {5, 9}
+
+    def test_oversized_n_rejected(self):
+        with np.errstate(over="ignore"):
+            try:
+                election_keys(1 << 16, seed=0)
+            except ValueError as e:
+                assert "int64" in str(e)
+            else:  # pragma: no cover
+                raise AssertionError("expected the int64 guard to fire")
