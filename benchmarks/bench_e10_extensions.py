@@ -11,14 +11,15 @@ Theta(n log n) ticks (flat normalised ratio across sizes).
 """
 
 from repro.experiments.e10_extensions import E10Options, run
+from common import main_experiment, run_experiment_bench
 
 OPTS = E10Options(n=256, trials=200, gamma=3.0,
                   async_sizes=(64, 256, 1024))
 
 
 def test_e10_extensions(benchmark, emit):
-    result = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
-    emit("e10_extensions", result)
+    result = run_experiment_bench(benchmark, emit, "e10_extensions",
+                                  run, OPTS)
     topo, asy = result.tables()
     success = dict(zip(topo.column("graph"), topo.column("success rate")))
     patched = dict(zip(topo.column("graph"),
@@ -41,3 +42,7 @@ def test_e10_extensions(benchmark, emit):
     ratios = asy.column("min-agg ticks / (n log2 n)")
     assert all(0.1 < r < 10 for r in ratios)
     assert max(ratios) / min(ratios) < 4
+
+
+if __name__ == "__main__":
+    raise SystemExit(main_experiment("e10_extensions", run, OPTS))

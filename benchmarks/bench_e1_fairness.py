@@ -7,6 +7,7 @@ fairness (with a Bonferroni-style family threshold: 12 tests).
 """
 
 from repro.experiments.e1_fairness import E1Options, run
+from common import main_experiment, run_experiment_bench
 
 OPTS = E1Options(
     sizes=(64, 128, 256),
@@ -17,8 +18,8 @@ OPTS = E1Options(
 
 
 def test_e1_fairness(benchmark, emit):
-    result = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
-    emit("e1_fairness", result)
+    result = run_experiment_bench(benchmark, emit, "e1_fairness",
+                                  run, OPTS)
     table, = result.tables()
     rows = len(table.rows)
     # TV at (or near) the fair-sampling noise floor everywhere.
@@ -33,3 +34,7 @@ def test_e1_fairness(benchmark, emit):
     pvalues = table.column("chi2 p-value")
     assert all(p > 0.05 / rows for p in pvalues)
     assert sum(1 for p in pvalues if p > 0.05) >= rows - 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main_experiment("e1_fairness", run, OPTS))

@@ -7,6 +7,7 @@ linear-in-n control fit is visibly worse.
 """
 
 from repro.experiments.e2_rounds import E2Options, run
+from common import main_experiment, run_experiment_bench
 
 OPTS = E2Options(
     sizes=(64, 128, 256, 512, 1024, 2048, 4096),
@@ -16,8 +17,8 @@ OPTS = E2Options(
 
 
 def test_e2_rounds(benchmark, emit):
-    result = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
-    emit("e2_rounds", result)
+    result = run_experiment_bench(benchmark, emit, "e2_rounds",
+                                  run, OPTS)
     main, fits = result.tables()
     fit = {
         (q, s): r2
@@ -33,3 +34,7 @@ def test_e2_rounds(benchmark, emit):
     for cell in main.column("converged in q"):
         done, total = cell.split("/")
         assert done == total
+
+
+if __name__ == "__main__":
+    raise SystemExit(main_experiment("e2_rounds", run, OPTS))

@@ -7,6 +7,7 @@ visibly worse.
 """
 
 from repro.experiments.e3_message_size import E3Options, run
+from common import main_experiment, run_experiment_bench
 
 OPTS = E3Options(
     sizes=(64, 128, 256, 512, 1024, 2048, 4096),
@@ -16,10 +17,14 @@ OPTS = E3Options(
 
 
 def test_e3_message_size(benchmark, emit):
-    result = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
-    emit("e3_message_size", result)
+    result = run_experiment_bench(benchmark, emit, "e3_message_size",
+                                  run, OPTS)
     main, fits = result.tables()
     r2 = dict(zip(fits.column("fitted shape"), fits.column("R^2")))
     assert r2["log^2 n"] > 0.995
     assert r2["log^2 n"] > r2["log n"]
     assert r2["log^2 n"] > r2["n"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main_experiment("e3_message_size", run, OPTS))

@@ -8,6 +8,7 @@ n log^3 n far better than n^2.
 """
 
 from repro.experiments.e4_communication import E4Options, run
+from common import main_experiment, run_experiment_bench
 
 OPTS = E4Options(
     sizes=(32, 64, 128, 256, 512, 1024, 2048),
@@ -17,8 +18,8 @@ OPTS = E4Options(
 
 
 def test_e4_communication(benchmark, emit):
-    result = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
-    emit("e4_communication", result)
+    result = run_experiment_bench(benchmark, emit, "e4_communication",
+                                  run, OPTS)
     main, fits = result.tables()
     ratios = main.column("msg ratio (P/LOCAL)")
     assert ratios[-1] < 0.5           # decisively cheaper at n = 2048
@@ -32,3 +33,7 @@ def test_e4_communication(benchmark, emit):
     }
     assert fit[("P messages", "n log n")] > 0.999
     assert fit[("P bits", "n log^3 n")] > 0.99
+
+
+if __name__ == "__main__":
+    raise SystemExit(main_experiment("e4_communication", run, OPTS))

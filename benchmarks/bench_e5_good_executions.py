@@ -7,6 +7,7 @@ Lemma 6.1 observable (minimum Commitment pulls any agent received).
 """
 
 from repro.experiments.e5_good_executions import E5Options, run
+from common import main_experiment, run_experiment_bench
 
 OPTS = E5Options(
     sizes=(64, 256, 1024),
@@ -16,8 +17,8 @@ OPTS = E5Options(
 
 
 def test_e5_good_executions(benchmark, emit):
-    result = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
-    emit("e5_good_executions", result)
+    result = run_experiment_bench(benchmark, emit, "e5_good_executions",
+                                  run, OPTS)
     table, = result.tables()
     rows = {
         (n, g): rate
@@ -49,3 +50,7 @@ def test_e5_good_executions(benchmark, emit):
     for (n, _g), c in collisions.items():
         assert c / OPTS.trials < 4.0 / n
     assert collisions[(1024, 3.0)] <= 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main_experiment("e5_good_executions", run, OPTS))

@@ -9,6 +9,7 @@ gamma(alpha) dependence made visible).
 """
 
 from repro.experiments.e6_faults import E6Options, run
+from common import main_experiment, run_experiment_bench
 
 OPTS = E6Options(
     n=256,
@@ -20,8 +21,8 @@ OPTS = E6Options(
 
 
 def test_e6_faults(benchmark, emit):
-    result = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
-    emit("e6_faults", result)
+    result = run_experiment_bench(benchmark, emit, "e6_faults",
+                                  run, OPTS)
     table, = result.tables()
     rows = list(zip(
         table.column("placement"), table.column("alpha"),
@@ -46,3 +47,7 @@ def test_e6_faults(benchmark, emit):
     }
     assert by_gamma[2.0] <= by_gamma[4.0] + 0.02
     assert by_gamma[4.0] <= by_gamma[10.0] + 0.02
+
+
+if __name__ == "__main__":
+    raise SystemExit(main_experiment("e6_faults", run, OPTS))

@@ -8,6 +8,7 @@ and nothing is significantly positive.
 """
 
 from repro.experiments.e7_equilibrium import E7Options, run
+from common import main_experiment, run_experiment_bench
 
 OPTS = E7Options(
     n=48,
@@ -20,8 +21,8 @@ OPTS = E7Options(
 
 
 def test_e7_equilibrium(benchmark, emit):
-    result = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
-    emit("e7_equilibrium", result)
+    result = run_experiment_bench(benchmark, emit, "e7_equilibrium",
+                                  run, OPTS)
     table, = result.tables()
     # Theorem 7: no strategy is significantly profitable.
     for profitable in table.column("profitable?"):
@@ -41,3 +42,7 @@ def test_e7_equilibrium(benchmark, emit):
         table.column("deviant fail"),
     ))
     assert devf[("pooled", 4)] < 0.05
+
+
+if __name__ == "__main__":
+    raise SystemExit(main_experiment("e7_equilibrium", run, OPTS))

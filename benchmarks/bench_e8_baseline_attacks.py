@@ -8,13 +8,14 @@ P's O(log n).
 """
 
 from repro.experiments.e8_baseline_attacks import E8Options, run
+from common import main_experiment, run_experiment_bench
 
 OPTS = E8Options(n=64, minority=0.1, trials=100, gamma=3.0)
 
 
 def test_e8_baseline_attacks(benchmark, emit):
-    result = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
-    emit("e8_baseline_attacks", result)
+    result = run_experiment_bench(benchmark, emit, "e8_baseline_attacks",
+                                  run, OPTS)
     table, = result.tables()
     rows = {
         (p, a): (w, f)
@@ -51,3 +52,7 @@ def test_e8_baseline_attacks(benchmark, emit):
         3 * rounds[("HP polling", "none (honest)")]
     assert rounds[(f"Protocol P @ n={big}", "none (honest)")] < \
         2 * rounds[("Protocol P", "none (honest)")]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main_experiment("e8_baseline_attacks", run, OPTS))

@@ -10,13 +10,14 @@ coverage) shrinks, reaching ~1 when the Commitment phase is removed.
 """
 
 from repro.experiments.e9_ablations import E9Options, run
+from common import main_experiment, run_experiment_bench
 
 OPTS = E9Options(n=48, minority=0.25, trials=80, gamma=2.5)
 
 
 def test_e9_ablations(benchmark, emit):
-    result = benchmark.pedantic(run, args=(OPTS,), rounds=1, iterations=1)
-    emit("e9_ablations", result)
+    result = run_experiment_bench(benchmark, emit, "e9_ablations",
+                                  run, OPTS)
     table, = result.tables()
     rows = {
         (d, g, a): (w, f, s)
@@ -43,3 +44,7 @@ def test_e9_ablations(benchmark, emit):
     # Commitment coverage is the pooled attack's only obstacle.
     assert rows[("without commitment", g, "pooled")][0] > 0.9
     assert rows[("full", g, "pooled")][0] < 0.5
+
+
+if __name__ == "__main__":
+    raise SystemExit(main_experiment("e9_ablations", run, OPTS))

@@ -11,32 +11,19 @@ Runs standalone too:  ``PYTHONPATH=src python benchmarks/bench_fastpath_batch.py
 
 from __future__ import annotations
 
-import json
-import platform
-import time
-from pathlib import Path
-
 from repro.experiments.workloads import balanced
 from repro.fastpath.batch import simulate_protocol_fast_batch
 from repro.fastpath.simulate import simulate_protocol_fast
 from repro.util.tables import Table
+from common import bench_json_path, best_of, machine_info, main_perf, \
+    write_bench
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-RESULT_PATH = REPO_ROOT / "BENCH_fastpath.json"
+RESULT_PATH = bench_json_path("fastpath")
 
 # (n, trials): the headline point is (512, 1000); the flanking points
 # show the speedup holding across the experiment suite's range.
 POINTS = ((128, 2000), (512, 1000), (2048, 200))
 GAMMA = 3.0
-
-
-def _best_of(repeats: int, fn) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
 
 
 def measure() -> dict:
@@ -50,14 +37,14 @@ def measure() -> dict:
         simulate_protocol_fast_batch(colors, warm, gamma=GAMMA,
                                      seed_parity=True)
 
-        per_trial = _best_of(2, lambda: [
+        per_trial = best_of(2, lambda: [
             simulate_protocol_fast(colors, gamma=GAMMA, seed=s)
             for s in seeds
         ])
-        batch = _best_of(3, lambda: simulate_protocol_fast_batch(
+        batch = best_of(3, lambda: simulate_protocol_fast_batch(
             colors, seeds, gamma=GAMMA
         ))
-        parity = _best_of(2, lambda: simulate_protocol_fast_batch(
+        parity = best_of(2, lambda: simulate_protocol_fast_batch(
             colors, seeds, gamma=GAMMA, seed_parity=True
         ))
         points.append({
@@ -72,10 +59,7 @@ def measure() -> dict:
     return {
         "benchmark": "fastpath_batch",
         "gamma": GAMMA,
-        "machine": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-        },
+        "machine": machine_info(),
         "points": points,
     }
 
@@ -97,7 +81,7 @@ def report(results: dict) -> Table:
 
 def run() -> dict:
     results = measure()
-    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    write_bench("fastpath", results)
     return results
 
 
@@ -116,6 +100,4 @@ def test_fastpath_batch_speedup(benchmark, emit):
 
 
 if __name__ == "__main__":
-    out = run()
-    print(report(out).render())
-    print(f"\nwrote {RESULT_PATH}")
+    raise SystemExit(main_perf("fastpath", measure, report))

@@ -27,10 +27,7 @@ Runs standalone too:
 
 from __future__ import annotations
 
-import json
-import platform
 import time
-from pathlib import Path
 
 import numpy as np
 
@@ -42,9 +39,9 @@ from repro.experiments.e10_extensions import _DEFAULT_SCENARIOS
 from repro.experiments.workloads import balanced
 from repro.extensions.families import sample_scenario_workload
 from repro.util.tables import Table
+from common import bench_json_path, machine_info, main_perf, write_bench
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-RESULT_PATH = REPO_ROOT / "BENCH_graphs.json"
+RESULT_PATH = bench_json_path("graphs")
 
 # The headline grid: ISSUE 4's acceptance point (the E10a defaults).
 HEADLINE_N = 512
@@ -149,10 +146,7 @@ def measure() -> dict:
     return {
         "benchmark": "graphs",
         "gamma": GAMMA,
-        "machine": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-        },
+        "machine": machine_info(),
         "headline": {
             "n": HEADLINE_N,
             "trials_per_scenario": HEADLINE_TRIALS,
@@ -219,7 +213,7 @@ def report(results: dict) -> Table:
 
 def run() -> dict:
     results = measure()
-    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    write_bench("graphs", results)
     return results
 
 
@@ -243,6 +237,4 @@ def test_graph_tier_speedup(benchmark, emit):
 
 
 if __name__ == "__main__":
-    out = run()
-    print(report(out).render())
-    print(f"\nwrote {RESULT_PATH}")
+    raise SystemExit(main_perf("graphs", measure, report))

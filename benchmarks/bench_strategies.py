@@ -21,18 +21,15 @@ Runs standalone too:
 
 from __future__ import annotations
 
-import json
-import platform
 import time
-from pathlib import Path
 
 from repro.experiments.dispatch import run_deviation_trials_fast
 from repro.experiments.e7_equilibrium import _DEFAULT_STRATEGIES
 from repro.experiments.workloads import skewed
 from repro.util.tables import Table
+from common import bench_json_path, machine_info, main_perf, write_bench
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-RESULT_PATH = REPO_ROOT / "BENCH_strategies.json"
+RESULT_PATH = bench_json_path("strategies")
 
 # The headline grid: ISSUE 2's acceptance point.
 HEADLINE_N = 512
@@ -112,10 +109,7 @@ def measure() -> dict:
     return {
         "benchmark": "strategies",
         "gamma": GAMMA,
-        "machine": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-        },
+        "machine": machine_info(),
         "headline": {
             "n": HEADLINE_N,
             "paired_trials": HEADLINE_TRIALS,
@@ -169,7 +163,7 @@ def report(results: dict) -> Table:
 
 def run() -> dict:
     results = measure()
-    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    write_bench("strategies", results)
     return results
 
 
@@ -188,6 +182,4 @@ def test_strategy_tier_speedup(benchmark, emit):
 
 
 if __name__ == "__main__":
-    out = run()
-    print(report(out).render())
-    print(f"\nwrote {RESULT_PATH}")
+    raise SystemExit(main_perf("strategies", measure, report))

@@ -1,0 +1,183 @@
+"""Shared plumbing for the benchmark suite.
+
+Two families of scripts share this module:
+
+* the ten **experiment benchmarks** (``bench_e1_fairness.py`` ...)
+  regenerate one experiment each, print its tables and archive them
+  under ``results/`` — :func:`run_experiment_bench` is their pytest
+  body and :func:`main_experiment` their standalone ``__main__`` driver
+  (with ``--trials``/``--jobs``/``--set`` overrides);
+* the **perf benchmarks** (``bench_fastpath_batch.py``,
+  ``bench_strategies.py``, ``bench_graphs.py``, ``bench_parallel.py``)
+  time engine tiers against each other and archive their numbers to
+  ``BENCH_<name>.json`` at the repo root — :func:`best_of`,
+  :func:`machine_info`, :func:`write_bench` and :func:`main_perf` are
+  their shared skeleton.
+
+Before this module each script carried its own copy of the repo-root
+resolution, timing loop, machine stanza, JSON writer and ``__main__``
+block; keep new benchmarks on these helpers instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.results import ExperimentResult, write_json
+from repro.util.tables import Table
+
+__all__ = [
+    "REPO_ROOT",
+    "RESULTS_DIR",
+    "archive",
+    "bench_json_path",
+    "best_of",
+    "machine_info",
+    "main_experiment",
+    "main_perf",
+    "run_experiment_bench",
+    "write_bench",
+]
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = REPO_ROOT / "results"
+
+
+# ---------------------------------------------------------------------------
+# Experiment benchmarks
+# ---------------------------------------------------------------------------
+
+def archive(name: str, *items: Table | ExperimentResult) -> str:
+    """Archive tables/results under ``results/``; return the rendered text.
+
+    Writes the classic ``<name>.txt`` render and, for structured
+    :class:`ExperimentResult` inputs, the round-trippable
+    ``<name>.json`` document next to it (numbered when several results
+    share one benchmark).
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    tables: list[Table] = []
+    results = [i for i in items if isinstance(i, ExperimentResult)]
+    for i, result in enumerate(results):
+        suffix = f".{i}" if len(results) > 1 else ""
+        write_json(result, RESULTS_DIR / f"{name}{suffix}.json")
+    for item in items:
+        if isinstance(item, ExperimentResult):
+            tables.extend(item.tables())
+        else:
+            tables.append(item)
+    text = "\n\n".join(t.render() for t in tables)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return text
+
+
+def run_experiment_bench(
+    benchmark: Any, emit: Callable[..., None], name: str,
+    run: Callable[..., ExperimentResult], opts: Any,
+) -> ExperimentResult:
+    """The shared pytest body of every experiment benchmark: time one
+    ``run(opts)`` pass and emit/archive the result."""
+    result = benchmark.pedantic(run, args=(opts,), rounds=1, iterations=1)
+    emit(name, result)
+    return result
+
+
+def main_experiment(
+    name: str,
+    run: Callable[..., ExperimentResult],
+    opts: Any,
+    argv: Sequence[str] | None = None,
+) -> int:
+    """Standalone driver: ``python benchmarks/bench_<name>.py [...]``.
+
+    Runs the benchmark's experiment at its benchmark options (with
+    optional ``--trials``/``--jobs`` overrides), prints the tables and
+    archives them exactly like the pytest path.
+    """
+    parser = argparse.ArgumentParser(
+        description=f"Regenerate the {name} benchmark tables standalone"
+    )
+    parser.add_argument("--trials", type=int, default=None,
+                        help="override the benchmark trial count")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="parallel plan-backend workers")
+    args = parser.parse_args(argv)
+    overrides = {
+        k: v for k, v in (("trials", args.trials), ("jobs", args.jobs))
+        if v is not None
+    }
+    if overrides:
+        opts = dataclasses.replace(opts, **overrides)
+    result = run(opts)
+    wall = result.meta.wall_time_s
+    print(archive(name, result))
+    if wall is not None:
+        print(f"\n[{name}] {wall:.2f}s", end="")
+        if result.meta.backend is not None:
+            print(f"  backend={result.meta.backend}"
+                  f"  shards={result.meta.shards}", end="")
+        print()
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Perf benchmarks
+# ---------------------------------------------------------------------------
+
+def bench_json_path(name: str) -> Path:
+    """``BENCH_<name>.json`` at the repo root (the perf trajectory log)."""
+    return REPO_ROOT / f"BENCH_{name}.json"
+
+
+def best_of(repeats: int, fn: Callable[[], Any]) -> float:
+    """Best wall-clock of ``repeats`` calls (the standard timing loop)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def machine_info() -> dict[str, Any]:
+    """The machine stanza every perf JSON carries."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def write_bench(name: str, results: dict) -> Path:
+    """Write a perf benchmark's JSON document; returns the path."""
+    path = bench_json_path(name)
+    path.write_text(json.dumps(results, indent=2) + "\n")
+    return path
+
+
+def main_perf(
+    name: str,
+    measure: Callable[[], dict],
+    report: Callable[[dict], Table],
+    argv: Sequence[str] | None = None,
+) -> int:
+    """Standalone driver shared by the perf benchmarks' ``__main__``."""
+    parser = argparse.ArgumentParser(
+        description=f"Run the {name} perf benchmark standalone"
+    )
+    parser.add_argument("--json-only", action="store_true",
+                        help="skip the rendered table, print the JSON path")
+    args = parser.parse_args(argv)
+    results = measure()
+    path = write_bench(name, results)
+    if not args.json_only:
+        print(report(results).render())
+    print(f"\nwrote {path}")
+    return 0

@@ -1,48 +1,30 @@
-"""Shared helpers for the benchmark suite.
+"""Shared fixtures for the benchmark suite.
 
 Every benchmark regenerates one experiment (the experiment ↔ claim
 wiring is tabulated in DESIGN.md §4), prints the rendered tables to the
 terminal (so ``pytest benchmarks/ --benchmark-only`` output is the full
 results report) and archives both forms under ``results/``: the classic
 ``<name>.txt`` render and, for structured :class:`ExperimentResult`
-inputs, the round-trippable ``<name>.json`` document next to it.
+inputs, the round-trippable ``<name>.json`` document next to it.  The
+shared writer lives in :mod:`common` (``benchmarks/common.py``), which
+also powers the scripts' standalone ``__main__`` paths.
 """
 
 from __future__ import annotations
 
-from pathlib import Path
-
 import pytest
 
-from repro.results import ExperimentResult, write_json
+from common import archive
+from repro.results import ExperimentResult
 from repro.util.tables import Table
-
-RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 
 @pytest.fixture
 def emit(capsys):
-    """Print rendered tables unbuffered and archive them to results/.
-
-    Accepts ``Table`` objects and/or ``ExperimentResult``s; results are
-    additionally archived as JSON (same stem as the txt) so downstream
-    tooling can consume the run without re-parsing text.
-    """
+    """Print rendered tables unbuffered and archive them to results/."""
 
     def _emit(name: str, *items: Table | ExperimentResult) -> None:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        tables: list[Table] = []
-        results = [i for i in items if isinstance(i, ExperimentResult)]
-        for i, result in enumerate(results):
-            suffix = f".{i}" if len(results) > 1 else ""
-            write_json(result, RESULTS_DIR / f"{name}{suffix}.json")
-        for item in items:
-            if isinstance(item, ExperimentResult):
-                tables.extend(item.tables())
-            else:
-                tables.append(item)
-        text = "\n\n".join(t.render() for t in tables)
-        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        text = archive(name, *items)
         with capsys.disabled():
             print()
             print(text)

@@ -17,7 +17,7 @@ Quickstart::
 See ``examples/`` and README.md for more.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro.core import (
     Certificate,
@@ -33,6 +33,7 @@ from repro.core import (
     RunResult,
     run_protocol,
 )
+from repro.exec import ExecutionPlan, run_plan
 from repro.experiments.registry import (
     ExperimentSpec,
     experiment_names,
@@ -56,6 +57,7 @@ __all__ = [
     "Certificate",
     "Defenses",
     "DeviationPlan",
+    "ExecutionPlan",
     "ExperimentResult",
     "ExperimentSpec",
     "FULL_DEFENSES",
@@ -82,6 +84,7 @@ __all__ = [
     "load_result",
     "result_key",
     "run_experiment",
+    "run_plan",
     "run_protocol",
     "save_result",
     "__version__",

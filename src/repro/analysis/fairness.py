@@ -80,8 +80,15 @@ def fail_rate(outcomes: Sequence[Hashable | None]) -> float:
 def total_variation(
     p: Mapping[Hashable, float], q: Mapping[Hashable, float]
 ) -> float:
-    """Total-variation distance between two color distributions."""
-    keys = set(p) | set(q)
+    """Total-variation distance between two color distributions.
+
+    Keys are summed in a sorted order: set iteration follows the string
+    hash seed, and float summation is not associative, so an unordered
+    sum makes the last ulp of the result differ from process to process
+    — which the byte-identical result-JSON contract (DESIGN.md §9)
+    cannot tolerate.
+    """
+    keys = sorted(set(p) | set(q), key=repr)
     return 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in keys)
 
 

@@ -21,7 +21,9 @@ Examples::
     python -m repro experiment e1 --trials 200
     python -m repro experiment e5 --set sizes=64,256 --set gammas=1.0,3.0
     python -m repro experiment e1 --trials 8 --format json --out results/ci
+    python -m repro experiment e10 --jobs 4
     python -m repro experiment all --trials 20 --serial
+    python -m repro experiment all --jobs 4
     python -m repro list --json
 """
 
@@ -33,6 +35,7 @@ import collections.abc
 import dataclasses
 import json
 import sys
+import types
 import typing
 from pathlib import Path
 from typing import Any, Sequence
@@ -89,6 +92,11 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("--serial", action="store_true",
                        help="disable process parallelism "
                             "(same as --set parallel=false)")
+    exp_p.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes for the parallel plan "
+                            "backend (same as --set jobs=N); the batched "
+                            "tiers shard trial blocks across N workers, "
+                            "byte-identically to a serial run")
     exp_p.add_argument("--set", dest="overrides", action="append",
                        default=[], metavar="FIELD=VALUE",
                        help="override any option field of the experiment; "
@@ -168,6 +176,15 @@ _FALSE = ("false", "no", "off", "0")
 def _coerce_value(text: str, hint: Any) -> Any:
     """Coerce an override string to an options field's declared type."""
     origin = typing.get_origin(hint)
+    if origin is typing.Union or origin is getattr(types, "UnionType", ()):
+        # Optional[T] / T | None: coerce to the first non-None member
+        # ("none" spells the null itself, e.g. --set jobs=none).
+        if text.strip().lower() in ("none", "null"):
+            return None
+        elem = next(
+            (a for a in typing.get_args(hint) if a is not type(None)), None
+        )
+        return _coerce_value(text, elem)
     if origin in (collections.abc.Sequence, tuple, list) or hint in (
         tuple, list,
     ):
@@ -267,10 +284,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             raise _OverrideError(
                 "conflicting --serial and --set parallel=...; pick one"
             )
+        if args.jobs is not None and "jobs" in raw:
+            raise _OverrideError(
+                "conflicting --jobs and --set jobs=...; pick one"
+            )
         if args.trials is not None:
             raw["trials"] = str(args.trials)
         if args.serial:
             raw["parallel"] = "false"
+        if args.jobs is not None:
+            raw["jobs"] = str(args.jobs)
         # Validate and build every options instance up front, so a bad
         # override exits 2 before any experiment runs (or archives).
         runs = []
@@ -287,8 +310,26 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     for spec, opts in runs:
-        _emit_result(spec.run(opts), args.fmt, args.out)
+        result = spec.run(opts)
+        _emit_result(result, args.fmt, args.out)
+        if sweep:
+            print(_wall_time_summary(result), file=sys.stderr)
     return 0
+
+
+def _wall_time_summary(result: ExperimentResult) -> str:
+    """One compact per-experiment line for ``experiment all`` (stderr)."""
+    meta = result.meta
+    wall = f"{meta.wall_time_s:.2f}s" if meta.wall_time_s is not None \
+        else "-"
+    parts = [f"[{result.experiment}] {wall}"]
+    if meta.backend is not None:
+        parts.append(f"backend={meta.backend}")
+    if meta.jobs is not None:
+        parts.append(f"jobs={meta.jobs}")
+    if meta.shards is not None:
+        parts.append(f"shards={meta.shards}")
+    return "  ".join(parts)
 
 
 def _cmd_list(args: argparse.Namespace) -> int:

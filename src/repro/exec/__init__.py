@@ -1,0 +1,64 @@
+"""The unified execution-plan layer.
+
+One sharded, multi-core backend behind every fastpath front door:
+
+* :mod:`repro.exec.plan` — compile a workload (kind, engine, options,
+  seed spine, shard quantum) into an :class:`ExecutionPlan`; the single
+  engine-name table and ``auto`` routing policy live here.
+* :mod:`repro.exec.backends` — run a plan on the ``serial`` backend
+  (bit-identical to the historical in-process behaviour) or the
+  ``parallel`` backend (quantum-aligned trial shards over a process
+  pool, per-shard seeds sliced from the plan's spine, results merged by
+  streaming reducers).  ``run_plan`` output is byte-identical across
+  backends, worker counts and shard layouts.
+* :mod:`repro.exec.reducers` — shard-order merge of struct-of-arrays
+  batch results.
+* :mod:`repro.exec.pool` — the process-pool primitive shared by the
+  ``process`` tier and the parallel backend.
+
+The experiment front doors (:mod:`repro.experiments.dispatch`) are thin
+adapters over this package; see DESIGN.md §9 for the sharding and
+merge semantics.
+"""
+
+from repro.exec.backends import (
+    BACKENDS,
+    ExecRecord,
+    collect_execution,
+    resolve_backend,
+    run_plan,
+)
+from repro.exec.plan import (
+    AUTO_ENGINE,
+    BATCH_ENGINES,
+    ENGINES,
+    ExecutionPlan,
+    compile_async_plan,
+    compile_deviation_plan,
+    compile_graph_plan,
+    compile_honest_plan,
+    resolve_engine,
+)
+from repro.exec.pool import default_workers, run_trials
+from repro.exec.reducers import ShardReducer, merge_shards
+
+__all__ = [
+    "AUTO_ENGINE",
+    "BACKENDS",
+    "BATCH_ENGINES",
+    "ENGINES",
+    "ExecRecord",
+    "ExecutionPlan",
+    "ShardReducer",
+    "collect_execution",
+    "compile_async_plan",
+    "compile_deviation_plan",
+    "compile_graph_plan",
+    "compile_honest_plan",
+    "default_workers",
+    "merge_shards",
+    "resolve_backend",
+    "resolve_engine",
+    "run_plan",
+    "run_trials",
+]

@@ -1,0 +1,544 @@
+"""Pluggable plan backends: serial (in-process) and parallel (sharded).
+
+:func:`run_plan` is the one entry point: it takes a compiled
+:class:`~repro.exec.plan.ExecutionPlan` and executes it on a backend —
+
+``serial``
+    Today's behaviour, bit-identical: the plan's engine runs over the
+    whole trial list in this process.
+
+``parallel``
+    The plan is cut into trial shards at multiples of its
+    ``shard_quantum`` and fanned over a process pool of ``jobs``
+    workers; per-shard seeds are the corresponding slices of the plan's
+    seed spine, and shard results stream back through
+    :mod:`repro.exec.reducers` in shard-index order.  Because shard
+    boundaries respect the engines' stream quantum, the merged result
+    is byte-identical to the serial backend at any ``jobs`` — the
+    backend choice is pure mechanics, never part of a result's
+    identity.
+
+``auto``
+    ``parallel`` when ``jobs > 1``, else ``serial``.
+
+Only the batched tiers shard (:data:`~repro.exec.plan.BATCH_ENGINES`);
+the ``process`` tier keeps its own per-trial pool (``jobs`` caps its
+worker count) and ``agent`` stays inline by design.  A plan whose
+workload is smaller than one stream quantum falls back to serial — the
+engines' block streams cannot be cut finer without changing results.
+
+Every run is recorded with the telemetry collector
+(:func:`collect_execution`), which is how experiment metadata learns
+the backend, job count and shard count that produced a result.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterator
+
+import numpy as np
+
+from repro.agents.plans import plan as make_plan
+from repro.core.defenses import Defenses
+from repro.core.protocol import ProtocolConfig, run_protocol
+from repro.exec.plan import BATCH_ENGINES, ExecutionPlan
+from repro.exec.pool import default_workers, run_trials
+from repro.exec.reducers import merge_shards
+from repro.extensions.async_gossip import (
+    AsyncBatchResult,
+    async_min_ticks,
+    async_min_ticks_batch,
+    async_minagg_values,
+    run_async_leader_election,
+    run_async_leader_election_batch,
+)
+from repro.extensions.families import GraphCSR
+from repro.fastpath.batch import (
+    FastBatchResult,
+    batch_from_runs,
+    simulate_protocol_fast_batch,
+)
+from repro.fastpath.graphs import GraphBatchResult, simulate_graph_fast_batch
+from repro.fastpath.simulate import FastRunResult, simulate_protocol_fast
+from repro.fastpath.strategies import (
+    StrategyBatchResult,
+    simulate_strategy_fast_batch,
+)
+
+__all__ = [
+    "BACKENDS",
+    "ExecRecord",
+    "collect_execution",
+    "resolve_backend",
+    "run_plan",
+]
+
+BACKENDS = ("auto", "serial", "parallel")
+
+#: Target shards per worker: a little oversharding smooths out uneven
+#: shard costs without multiplying the per-shard pickling overhead.
+_SHARDS_PER_JOB = 2
+
+
+# ---------------------------------------------------------------------------
+# Telemetry: how result metadata learns what actually ran
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExecRecord:
+    """One plan execution, as seen by an active telemetry collector."""
+
+    kind: str
+    engine: str
+    backend: str      # the backend that actually ran ("serial"/"parallel")
+    jobs: int
+    shards: int
+    n_trials: int
+    wall_time_s: float
+
+
+_collectors: list[list[ExecRecord]] = []
+
+
+@contextmanager
+def collect_execution() -> Iterator[list[ExecRecord]]:
+    """Collect every :func:`run_plan` record issued inside the block.
+
+    Collectors nest (each sees the records of its own scope, inner
+    scopes included); the experiment registry wraps each run in one to
+    stamp ``backend``/``jobs``/``shards`` into the result metadata.
+    """
+    records: list[ExecRecord] = []
+    _collectors.append(records)
+    try:
+        yield records
+    finally:
+        # Remove by identity: list.remove compares by value, and two
+        # nested collectors are value-equal whenever the outer held no
+        # records when the inner opened — it would detach the wrong one.
+        _collectors[:] = [c for c in _collectors if c is not records]
+
+
+def _record(record: ExecRecord) -> None:
+    for collector in _collectors:
+        collector.append(record)
+
+
+# ---------------------------------------------------------------------------
+# Backend selection and the public entry point
+# ---------------------------------------------------------------------------
+
+def resolve_backend(backend: str, jobs: int | None) -> tuple[str, int]:
+    """Validate the backend name and normalise the worker count.
+
+    ``jobs=None`` means "unspecified": serial under ``auto``, the
+    machine default under an explicit ``parallel``.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; known: {BACKENDS}"
+        )
+    if jobs is not None:
+        jobs = int(jobs)
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if backend == "auto":
+        backend = "parallel" if jobs is not None and jobs > 1 else "serial"
+    if backend == "parallel" and jobs is None:
+        jobs = default_workers()
+    return backend, (jobs if jobs is not None else 1)
+
+
+def run_plan(
+    plan: ExecutionPlan,
+    *,
+    backend: str = "auto",
+    jobs: int | None = None,
+    parallel: bool = True,
+    max_workers: int | None = None,
+) -> Any:
+    """Execute a compiled plan and return its engine's batch result.
+
+    ``parallel``/``max_workers`` are the per-trial tiers' legacy knobs
+    (the ``process`` engine's own pool); ``jobs`` is the plan-level
+    worker count.  Results are deterministic in the plan alone — no
+    backend, job count or shard layout leaks into them.
+    """
+    backend, jobs = resolve_backend(backend, jobs)
+    start = time.perf_counter()
+    shards = 1
+    if (
+        backend == "parallel"
+        and jobs > 1
+        and plan.engine in BATCH_ENGINES
+        and plan.n_trials > plan.shard_quantum
+    ):
+        result, shards = _run_parallel(plan, jobs)
+        ran = "parallel"
+    else:
+        if plan.engine == "process" and max_workers is None and jobs > 1:
+            max_workers = jobs
+        result = _compute(plan, parallel=parallel, max_workers=max_workers)
+        ran = "serial"
+    _record(ExecRecord(
+        kind=plan.kind, engine=plan.engine, backend=ran, jobs=jobs,
+        shards=shards, n_trials=plan.n_trials,
+        wall_time_s=time.perf_counter() - start,
+    ))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# The parallel backend: quantum-aligned trial shards over a process pool
+# ---------------------------------------------------------------------------
+
+def shard_bounds(
+    n_trials: int, quantum: int, jobs: int
+) -> list[tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` trial shards, every ``lo`` on a quantum
+    multiple.
+
+    The shard size is the smallest quantum multiple that keeps the
+    shard count near ``jobs * _SHARDS_PER_JOB``; only the last shard
+    may be shorter.  Any quantum-aligned cut yields the same merged
+    result, so the layout is free to chase load balance.
+    """
+    if n_trials <= 0:
+        return []
+    target = max(1, math.ceil(n_trials / (jobs * _SHARDS_PER_JOB)))
+    size = quantum * math.ceil(target / quantum)
+    return [
+        (lo, min(lo + size, n_trials)) for lo in range(0, n_trials, size)
+    ]
+
+
+def _compute_shard(shard_plan: ExecutionPlan) -> Any:
+    """Pool worker: run one shard's sub-plan serially."""
+    return _compute(shard_plan, parallel=False)
+
+
+def _run_parallel(plan: ExecutionPlan, jobs: int) -> tuple[Any, int]:
+    bounds = shard_bounds(plan.n_trials, plan.shard_quantum, jobs)
+    if len(bounds) <= 1:
+        return _compute(plan, parallel=False), 1
+    shard_plans = [plan.slice(lo, hi) for lo, hi in bounds]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(bounds))) as pool:
+        result = merge_shards(pool.map(_compute_shard, shard_plans))
+    return result, len(bounds)
+
+
+# ---------------------------------------------------------------------------
+# The serial backend: one engine route per workload kind
+# ---------------------------------------------------------------------------
+
+def _compute(
+    plan: ExecutionPlan,
+    *,
+    parallel: bool = True,
+    max_workers: int | None = None,
+) -> Any:
+    """Run the whole plan in-process on its engine (the serial backend)."""
+    compute = _COMPUTE[plan.kind]
+    return compute(plan, parallel, max_workers)
+
+
+def _compute_honest(
+    plan: ExecutionPlan, parallel: bool, max_workers: int | None
+) -> FastBatchResult:
+    opt = plan.options
+    seeds = list(plan.seeds)
+    if plan.engine in ("batch", "batch-parity"):
+        return simulate_protocol_fast_batch(
+            opt["colors"], seeds, gamma=opt["gamma"],
+            faulty=opt["faulty_list"],
+            seed_parity=(plan.engine == "batch-parity"),
+            max_chunk_elements=opt["max_chunk_elements"],
+        )
+    worker = _fast_worker if plan.engine == "process" else _agent_worker
+    runs = run_trials(
+        worker,
+        [(opt["colors"], opt["gamma"], f, s)
+         for f, s in zip(opt["faulty_list"], seeds)],
+        parallel=(parallel and plan.engine == "process"),
+        max_workers=max_workers,
+    )
+    return batch_from_runs(runs, opt["colors"])
+
+
+def _compute_deviation(
+    plan: ExecutionPlan, parallel: bool, max_workers: int | None
+) -> StrategyBatchResult:
+    opt = plan.options
+    seeds = list(plan.seeds)
+    if plan.engine == "batch-strategy":
+        return simulate_strategy_fast_batch(
+            opt["colors"], seeds, opt["strategy"], opt["members"],
+            gamma=opt["gamma"], faulty=opt["faulty"],
+            defenses=opt["defenses"],
+        )
+    args = [
+        (opt["colors"], opt["gamma"], opt["strategy"],
+         tuple(sorted(opt["members"])), tuple(sorted(opt["faulty"])),
+         opt["defenses"], s)
+        for s in seeds
+    ]
+    rows = run_trials(
+        _deviation_worker, args,
+        parallel=(parallel and plan.engine == "process"),
+        max_workers=max_workers,
+    )
+    honest_runs = [r[0] for r in rows]
+    dev_runs = [r[1] for r in rows]
+    return StrategyBatchResult(
+        strategy=opt["strategy"] or "honest_shadow",
+        members=tuple(sorted(opt["members"])),
+        honest=batch_from_runs(honest_runs, opt["colors"]),
+        deviant=batch_from_runs(dev_runs, opt["colors"]),
+        detected=np.array([r[2] for r in rows], dtype=bool),
+        split=np.array([r[3] for r in rows], dtype=bool),
+        forged=np.array([r[4] for r in rows], dtype=bool),
+        exposed_members=np.array([r[5] for r in rows], dtype=np.int64),
+    )
+
+
+def _compute_graph(
+    plan: ExecutionPlan, parallel: bool, max_workers: int | None
+) -> GraphBatchResult:
+    opt = plan.options
+    seeds = list(plan.seeds)
+    if plan.engine in ("batch", "batch-parity"):
+        return simulate_graph_fast_batch(
+            opt["csrs"], opt["colors"], seeds, gamma=opt["gamma"],
+            faulty=list(opt["faulty_list"]),
+            seed_parity=(plan.engine == "batch-parity"),
+        )
+    rows = run_trials(
+        _graph_agent_worker,
+        [(c, opt["colors"], opt["gamma"], tuple(sorted(f)), s)
+         for c, f, s in zip(opt["csrs"], opt["faulty_list"], seeds)],
+        parallel=(parallel and plan.engine == "process"),
+        max_workers=max_workers,
+    )
+    cols = list(zip(*rows)) if rows else [[]] * 7
+    return GraphBatchResult(
+        n=len(opt["colors"]),
+        n_trials=len(seeds),
+        colors=opt["colors"],
+        n_active=np.array(cols[0], dtype=np.int64),
+        success=np.array(cols[1], dtype=bool),
+        winner=np.array(cols[2], dtype=np.int64),
+        outcome_idx=np.array(cols[3], dtype=np.int64),
+        zero_vote_agents=np.array(cols[4], dtype=np.int64),
+        split=np.array(cols[5], dtype=bool),
+        failed_agents=np.array(cols[6], dtype=np.int64),
+    )
+
+
+def _compute_async(
+    plan: ExecutionPlan, parallel: bool, max_workers: int | None
+) -> AsyncBatchResult:
+    opt = plan.options
+    n = opt["n"]
+    seeds = list(plan.seeds)
+    if plan.engine == "batch":
+        values = np.stack([async_minagg_values(n, s) for s in seeds]) \
+            if seeds else np.zeros((0, n), dtype=np.int64)
+        minagg = async_min_ticks_batch(values, seeds) if seeds else \
+            np.zeros(0, dtype=np.int64)
+        if seeds:
+            conv, winner, eticks = run_async_leader_election_batch(
+                opt["colors"], seeds, opt["tick_budget_factor"]
+            )
+        else:
+            conv = np.zeros(0, dtype=bool)
+            winner = np.zeros(0, dtype=np.int64)
+            eticks = np.zeros(0, dtype=np.int64)
+        return AsyncBatchResult(
+            n=n, n_trials=len(seeds), minagg_ticks=minagg,
+            election_converged=conv, election_winner=winner,
+            election_ticks=eticks,
+        )
+    rows = run_trials(
+        _async_agent_worker,
+        [(n, opt["colors"], opt["tick_budget_factor"], s) for s in seeds],
+        parallel=(parallel and plan.engine == "process"),
+        max_workers=max_workers,
+    )
+    cols = list(zip(*rows)) if rows else [[]] * 4
+    return AsyncBatchResult(
+        n=n,
+        n_trials=len(seeds),
+        minagg_ticks=np.array(cols[0], dtype=np.int64),
+        election_converged=np.array(cols[1], dtype=bool),
+        election_winner=np.array(cols[2], dtype=np.int64),
+        election_ticks=np.array(cols[3], dtype=np.int64),
+    )
+
+
+_COMPUTE = {
+    "honest": _compute_honest,
+    "deviation": _compute_deviation,
+    "graph": _compute_graph,
+    "async": _compute_async,
+}
+
+
+# ---------------------------------------------------------------------------
+# Per-trial engine workers (module-level: pool workers must pickle)
+# ---------------------------------------------------------------------------
+
+def _fast_worker(
+    args: tuple[tuple[Hashable, ...], float, frozenset[int], int]
+) -> FastRunResult:
+    colors, gamma, faulty, seed = args
+    return simulate_protocol_fast(colors, gamma=gamma, faulty=faulty,
+                                  seed=seed)
+
+
+def _agent_worker(
+    args: tuple[tuple[Hashable, ...], float, frozenset[int], int]
+) -> FastRunResult:
+    colors, gamma, faulty, seed = args
+    res = run_protocol(ProtocolConfig(
+        colors=list(colors), gamma=gamma, faulty=faulty, seed=seed,
+    ))
+    return FastRunResult(
+        n=res.n,
+        n_active=res.n - len(faulty),
+        outcome=res.outcome,
+        winner=res.winner,
+        rounds=res.rounds,
+        min_votes=res.good.min_votes,
+        max_votes=res.good.max_votes,
+        k_collision=res.good.k_collision,
+        find_min_agreement=res.good.find_min_agreement,
+        find_min_rounds=-1,                   # not observed by the engine
+        min_commitment_pulls_received=-1,     # not observed by the engine
+        total_messages=res.metrics.total_messages,
+        total_bits=res.metrics.total_bits,
+        max_message_bits=res.metrics.max_message_bits,
+    )
+
+
+def _run_result_to_fast(
+    res, colors: tuple[Hashable, ...], n_faulty: int
+) -> FastRunResult:
+    """Compact a ``RunResult`` into the batch record shape.
+
+    When the engine reports a winning color without a unique
+    certificate owner (same-color certificates from different owners),
+    ``winner`` falls back to the smallest owner among the followers'
+    final certificates — the same representative the strategy fastpath
+    uses.
+    """
+    winner = res.winner
+    if winner is None and res.outcome is not None:
+        nodes = res.extras.get("nodes", {})
+        owners = [
+            nodes[i].min_certificate.owner
+            for i in res.decisions
+            if i in nodes
+            and getattr(nodes[i], "min_certificate", None) is not None
+        ]
+        winner = min(owners) if owners else next(
+            i for i, c in enumerate(colors) if c == res.outcome
+        )
+    return FastRunResult(
+        n=res.n,
+        n_active=res.n - n_faulty,
+        outcome=res.outcome,
+        winner=winner,
+        rounds=res.rounds,
+        min_votes=res.good.min_votes,
+        max_votes=res.good.max_votes,
+        k_collision=res.good.k_collision,
+        find_min_agreement=res.good.find_min_agreement,
+        find_min_rounds=-1,                   # not observed by the engine
+        min_commitment_pulls_received=-1,     # not observed by the engine
+        total_messages=res.metrics.total_messages,
+        total_bits=res.metrics.total_bits,
+        max_message_bits=res.metrics.max_message_bits,
+    )
+
+
+def _deviation_worker(
+    args: tuple[tuple[Hashable, ...], float, str | None, tuple[int, ...],
+                tuple[int, ...], Defenses, int]
+) -> tuple[FastRunResult, FastRunResult, bool, bool, bool, int]:
+    """One paired (honest, deviant) agent-engine trial."""
+    colors, gamma, strategy, members, faulty, defenses, seed = args
+    faulty_set = frozenset(faulty)
+    honest_res = run_protocol(ProtocolConfig(
+        colors=list(colors), gamma=gamma, faulty=faulty_set, seed=seed,
+        defenses=defenses,
+    ))
+    deviation = (
+        make_plan(strategy, frozenset(members)) if strategy and members
+        else None
+    )
+    dev_res = run_protocol(ProtocolConfig(
+        colors=list(colors), gamma=gamma, faulty=faulty_set, seed=seed,
+        deviation=deviation, defenses=defenses,
+    ))
+    decided = set(dev_res.decisions.values())
+    split = (
+        dev_res.outcome is None and None not in decided and len(decided) > 1
+    )
+    detected = bool(dev_res.failed_agents)
+    forged = False
+    exposed = 0
+    for node in dev_res.extras.get("nodes", {}).values():
+        shared = getattr(node, "shared", None)
+        if shared is not None:
+            exposure = getattr(shared, "exposure", None)
+            if exposure is not None:
+                exposed = sum(1 for pullers in exposure.values() if pullers)
+            if getattr(shared, "forged", None) is not None:
+                forged = True
+        if getattr(node, "forged", None) is not None:
+            forged = True
+    return (
+        _run_result_to_fast(honest_res, colors, len(faulty_set)),
+        _run_result_to_fast(dev_res, colors, len(faulty_set)),
+        detected, split, forged, exposed,
+    )
+
+
+def _graph_agent_worker(
+    args: tuple[GraphCSR, tuple[Hashable, ...], float, tuple[int, ...], int]
+) -> tuple[int, bool, int, int, int, bool, int]:
+    """One per-agent graph trial, packed into the batch record shape."""
+    from repro.extensions.topologies import run_graph_protocol
+
+    csr, colors, gamma, faulty, seed = args
+    res = run_graph_protocol(
+        csr.to_networkx(), colors, gamma=gamma, seed=seed,
+        faulty=frozenset(faulty),
+    )
+    palette = list(dict.fromkeys(colors))
+    return (
+        csr.n - len(faulty),
+        res.outcome is not None,
+        res.winner if res.winner is not None else -1,
+        palette.index(res.outcome) if res.outcome is not None else -1,
+        res.zero_vote_agents,
+        res.split,
+        res.failed_agents,
+    )
+
+
+def _async_agent_worker(
+    args: tuple[int, tuple[Hashable, ...], float, int]
+) -> tuple[int, bool, int, int]:
+    n, colors, factor, seed = args
+    ticks = int(async_min_ticks(async_minagg_values(n, seed), seed=seed))
+    el = run_async_leader_election(
+        colors, seed=seed, tick_budget_factor=factor
+    )
+    return (ticks, el.converged,
+            el.winner if el.winner is not None else -1, el.ticks)

@@ -1,0 +1,57 @@
+"""Process-pool trial execution (the per-trial fan-out primitive).
+
+Monte-Carlo experiments run hundreds of independent simulations; this
+module fans them out over processes (simulations are CPU-bound pure
+Python/NumPy, so threads would serialise on the GIL — the standard HPC
+recipe here is process-level parallelism over trials).
+
+Workers must be module-level callables (pickling), and every trial gets
+its seed explicitly — results are independent of worker count and
+scheduling order.  This is the primitive under both the ``process``
+engine tier (one task per trial) and the parallel plan backend (one
+task per trial *shard*, :mod:`repro.exec.backends`).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["run_trials", "default_workers"]
+
+T = TypeVar("T")
+A = TypeVar("A")
+
+
+def default_workers() -> int:
+    """Worker count: leave a couple of cores for the OS, cap at 16."""
+    cpus = os.cpu_count() or 1
+    return max(1, min(16, cpus - 2))
+
+
+def run_trials(
+    worker: Callable[[A], T],
+    args: Sequence[A] | Iterable[A],
+    *,
+    parallel: bool = True,
+    max_workers: int | None = None,
+    chunksize: int | None = None,
+) -> list[T]:
+    """Run ``worker`` over every element of ``args``; order-preserving.
+
+    ``parallel=False`` (or a single work item) executes inline, which is
+    also the debugger-friendly path.
+    """
+    args = list(args)
+    if not args:
+        return []
+    if not parallel or len(args) == 1:
+        return [worker(a) for a in args]
+    workers = max_workers if max_workers is not None else default_workers()
+    if workers <= 1:
+        return [worker(a) for a in args]
+    if chunksize is None:
+        chunksize = max(1, len(args) // (workers * 4))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(worker, args, chunksize=chunksize))

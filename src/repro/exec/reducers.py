@@ -1,0 +1,96 @@
+"""Streaming reducers: merge per-shard results back into one batch.
+
+The parallel backend splits a plan into trial shards and gets one
+struct-of-arrays result per shard (:class:`FastBatchResult`,
+:class:`StrategyBatchResult`, :class:`GraphBatchResult` or
+:class:`AsyncBatchResult`).  :class:`ShardReducer` folds them back
+together *in shard order, as they arrive*: per-trial arrays concatenate
+along the trial axis, ``n_trials`` sums, nested batch results recurse,
+and every other field (``n``, ``rounds``, ``colors``, ``strategy``,
+...) must agree across shards — a disagreement means the shards were
+cut from different workloads and is an error, never silently resolved.
+
+Because shard boundaries sit on the plan's stream quantum
+(:mod:`repro.exec.plan`), the merged arrays are bit-identical to what
+the serial backend produces, independent of worker count and of the
+order shards *complete* in (the reducer consumes them in shard index
+order).  Memory stays bounded by the per-trial records themselves: a
+shard's O(B_shard) summary arrays are the only thing that travels back
+from a worker (never the engine's internal (B, n, q) draw tensors), so
+the reducer's peak is ~2x the merged result — O(B) at any trial count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterable, TypeVar
+
+import numpy as np
+
+__all__ = ["ShardReducer", "merge_shards"]
+
+R = TypeVar("R")
+
+
+def _merge_field(name: str, values: list[Any]) -> Any:
+    first = values[0]
+    if isinstance(first, np.ndarray):
+        return np.concatenate(values)
+    if name == "n_trials":
+        return int(sum(values))
+    if dataclasses.is_dataclass(first) and not isinstance(first, type):
+        return _merge_results(values)
+    if any(v != first for v in values[1:]):
+        raise ValueError(
+            f"shards disagree on field {name!r}: {values!r}"
+        )
+    return first
+
+
+def _merge_results(shards: list[Any]) -> Any:
+    cls = type(shards[0])
+    if any(type(s) is not cls for s in shards[1:]):
+        raise ValueError(
+            f"cannot merge mixed shard types "
+            f"{sorted({type(s).__name__ for s in shards})}"
+        )
+    merged = {
+        f.name: _merge_field(f.name, [getattr(s, f.name) for s in shards])
+        for f in dataclasses.fields(cls)
+    }
+    return cls(**merged)
+
+
+class ShardReducer:
+    """Fold shard results one at a time; :meth:`result` emits the merge.
+
+    A single shard passes through untouched (object identity), so the
+    serial backend and one-shard parallel runs pay nothing.
+    """
+
+    def __init__(self) -> None:
+        self._shards: list[Any] = []
+
+    def add(self, shard: Any) -> None:
+        if shard is None:
+            raise ValueError("shard result is None (worker failed?)")
+        self._shards.append(shard)
+
+    def result(self) -> Any:
+        if not self._shards:
+            raise ValueError("no shards to merge")
+        if len(self._shards) == 1:
+            return self._shards[0]
+        return _merge_results(self._shards)
+
+
+def merge_shards(shards: Iterable[R]) -> R:
+    """Merge an iterable of shard results in iteration order.
+
+    Consumes lazily (pool ``map`` results fold as workers finish) and
+    returns the single merged batch.
+    """
+    reducer = ShardReducer()
+    for shard in shards:
+        reducer.add(shard)
+    return reducer.result()

@@ -1,5 +1,14 @@
 """Routing Monte-Carlo trial batches to the right simulation tier.
 
+The four front doors here are thin adapters over the unified
+execution-plan layer (:mod:`repro.exec`): each one *compiles* its
+workload into an :class:`~repro.exec.plan.ExecutionPlan` — one
+engine-name table, one ``auto`` routing policy, one chunking/sharding
+policy for all of them — and hands the plan to
+:func:`~repro.exec.backends.run_plan`.  Engine names are validated
+against the single table in :data:`repro.exec.plan.ENGINES`; an unknown
+tier raises the same error (listing the valid tiers) from every door.
+
 :func:`run_trials_fast` is the front door for every honest-run
 experiment: given one color configuration and a list of per-trial seeds
 it returns a :class:`repro.fastpath.batch.FastBatchResult` regardless of
@@ -13,8 +22,8 @@ which engine did the work.  Engines, from fastest to highest fidelity:
     bit-identical to ``simulate_protocol_fast`` for the same seeds.
 ``process``
     Per-trial ``simulate_protocol_fast`` fanned out over a process pool
-    (:func:`repro.experiments.runner.run_trials`).  Since the batched
-    fastpath landed this is the *fallback*, not the default — it is the
+    (:func:`repro.exec.pool.run_trials`).  Since the batched fastpath
+    landed this is the *fallback*, not the default — it is the
     debugger-friendly tier and the cross-check for the batch engines.
 ``agent``
     The exact agent engine (``run_protocol``), for fidelity spot checks.
@@ -45,39 +54,32 @@ lockstep tick simulator (``batch``) or to the scalar reference loop
 (``process``/``agent`` — there is no message-level engine for the
 sequential model; the scalar tick loop *is* the reference tier).  See
 DESIGN.md §8 for both fidelity contracts.
+
+Backends and ``jobs``
+---------------------
+Every front door also takes ``backend`` (``"auto"``/``"serial"``/
+``"parallel"``) and ``jobs``: with ``jobs > 1`` the batched tiers shard
+their trial blocks across a process pool, byte-identically to the
+serial run (DESIGN.md §9).  ``parallel``/``max_workers`` remain the
+per-trial tiers' own pool knobs, exactly as before.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Hashable, Iterable, Sequence
 
-import numpy as np
-
-from repro.agents.plans import plan as make_plan
 from repro.core.defenses import FULL_DEFENSES, Defenses
-from repro.core.protocol import ProtocolConfig, run_protocol
-from repro.experiments.runner import run_trials
-from repro.extensions.async_gossip import (
-    async_min_ticks,
-    async_min_ticks_batch,
-    run_async_leader_election,
-    run_async_leader_election_batch,
+from repro.exec.backends import run_plan
+from repro.exec.plan import (
+    compile_async_plan,
+    compile_deviation_plan,
+    compile_graph_plan,
+    compile_honest_plan,
 )
-from repro.extensions.families import GraphCSR, csr_from_networkx
-from repro.fastpath.batch import (
-    FastBatchResult,
-    batch_from_runs,
-    simulate_protocol_fast_batch,
-)
-from repro.fastpath.graphs import GraphBatchResult, simulate_graph_fast_batch
-from repro.fastpath.simulate import FastRunResult, simulate_protocol_fast
-from repro.fastpath.strategies import (
-    StrategyBatchResult,
-    simulate_strategy_fast_batch,
-)
-from repro.util.faults import normalise_faulty
-from repro.util.rng import SeedTree
+from repro.extensions.async_gossip import AsyncBatchResult
+from repro.fastpath.batch import FastBatchResult
+from repro.fastpath.graphs import GraphBatchResult
+from repro.fastpath.strategies import StrategyBatchResult
 
 __all__ = [
     "AsyncBatchResult",
@@ -88,11 +90,6 @@ __all__ = [
     "run_trials_fast",
 ]
 
-_ENGINES = ("auto", "batch", "batch-parity", "process", "agent")
-_DEVIATION_ENGINES = ("auto", "batch-strategy", "process", "agent")
-_GRAPH_ENGINES = ("auto", "batch", "batch-parity", "process", "agent")
-_ASYNC_ENGINES = ("auto", "batch", "process", "agent")
-
 
 def choose_engine(
     n: int,
@@ -100,48 +97,18 @@ def choose_engine(
     gamma: float = 3.0,
     max_chunk_elements: int | None = None,
 ) -> str:
-    """The ``auto`` routing policy, exposed for tests and callers.
+    """The honest-workload ``auto`` routing policy, exposed for tests.
 
     Currently unconditional: the statistical batch engine dominates the
     per-trial tiers on both wall-clock and peak memory at every
     (n, trials) the guards admit (the process pool would multiply
-    per-run draw tensors by the worker count).  Kept as a function so
-    future policies (e.g. fidelity-driven routing) have one home.
+    per-run draw tensors by the worker count).  The actual table lives
+    in :data:`repro.exec.plan.AUTO_ENGINE`; this wrapper survives for
+    callers that want the policy without compiling a plan.
     """
-    return "batch"
+    from repro.exec.plan import AUTO_ENGINE
 
-
-def _fast_worker(
-    args: tuple[tuple[Hashable, ...], float, frozenset[int], int]
-) -> FastRunResult:
-    colors, gamma, faulty, seed = args
-    return simulate_protocol_fast(colors, gamma=gamma, faulty=faulty,
-                                  seed=seed)
-
-
-def _agent_worker(
-    args: tuple[tuple[Hashable, ...], float, frozenset[int], int]
-) -> FastRunResult:
-    colors, gamma, faulty, seed = args
-    res = run_protocol(ProtocolConfig(
-        colors=list(colors), gamma=gamma, faulty=faulty, seed=seed,
-    ))
-    return FastRunResult(
-        n=res.n,
-        n_active=res.n - len(faulty),
-        outcome=res.outcome,
-        winner=res.winner,
-        rounds=res.rounds,
-        min_votes=res.good.min_votes,
-        max_votes=res.good.max_votes,
-        k_collision=res.good.k_collision,
-        find_min_agreement=res.good.find_min_agreement,
-        find_min_rounds=-1,                   # not observed by the engine
-        min_commitment_pulls_received=-1,     # not observed by the engine
-        total_messages=res.metrics.total_messages,
-        total_bits=res.metrics.total_bits,
-        max_message_bits=res.metrics.max_message_bits,
-    )
+    return AUTO_ENGINE["honest"]
 
 
 def run_trials_fast(
@@ -151,135 +118,26 @@ def run_trials_fast(
     gamma: float = 3.0,
     faulty: frozenset[int] | Iterable[frozenset[int]] | None = frozenset(),
     engine: str = "auto",
+    backend: str = "auto",
+    jobs: int | None = None,
     parallel: bool = True,
     max_workers: int | None = None,
     max_chunk_elements: int | None = None,
 ) -> FastBatchResult:
     """Run one honest-run Monte-Carlo workload on the chosen engine.
 
-    ``parallel``/``max_workers`` only affect the per-trial engines
-    (``process``/``agent``); the batch engines are single-process by
-    design.  Results are deterministic in ``seeds`` on every engine.
+    ``jobs``/``backend`` select the plan backend (sharded multi-core
+    for the batch engines); ``parallel``/``max_workers`` only affect
+    the per-trial engines (``process``/``agent``).  Results are
+    deterministic in ``seeds`` on every engine and identical across
+    backends and job counts.
     """
-    if engine not in _ENGINES:
-        raise ValueError(f"unknown engine {engine!r}; known: {_ENGINES}")
-    colors = tuple(colors)
-    seeds = [int(s) for s in seeds]
-    if engine == "auto":
-        engine = choose_engine(
-            len(colors), len(seeds), gamma, max_chunk_elements
-        )
-    if engine in ("batch", "batch-parity"):
-        return simulate_protocol_fast_batch(
-            colors, seeds, gamma=gamma, faulty=faulty,
-            seed_parity=(engine == "batch-parity"),
-            max_chunk_elements=max_chunk_elements,
-        )
-
-    if faulty is None or isinstance(faulty, (set, frozenset)):
-        faulty_list = [frozenset(faulty or ())] * len(seeds)
-    else:
-        faulty_list = [frozenset(f) for f in faulty]
-        if len(faulty_list) != len(seeds):
-            raise ValueError(
-                f"got {len(faulty_list)} fault sets for {len(seeds)} trials"
-            )
-    worker = _fast_worker if engine == "process" else _agent_worker
-    runs = run_trials(
-        worker,
-        [(colors, gamma, f, s) for f, s in zip(faulty_list, seeds)],
-        parallel=parallel,
-        max_workers=max_workers,
+    plan = compile_honest_plan(
+        colors, seeds, gamma=gamma, faulty=faulty, engine=engine,
+        max_chunk_elements=max_chunk_elements,
     )
-    return batch_from_runs(runs, colors)
-
-
-# ---------------------------------------------------------------------------
-# Deviation (coalition strategy) workloads
-# ---------------------------------------------------------------------------
-
-def _run_result_to_fast(
-    res, colors: tuple[Hashable, ...], n_faulty: int
-) -> FastRunResult:
-    """Compact a ``RunResult`` into the batch record shape.
-
-    When the engine reports a winning color without a unique
-    certificate owner (same-color certificates from different owners),
-    ``winner`` falls back to the smallest owner among the followers'
-    final certificates — the same representative the strategy fastpath
-    uses.
-    """
-    winner = res.winner
-    if winner is None and res.outcome is not None:
-        nodes = res.extras.get("nodes", {})
-        owners = [
-            nodes[i].min_certificate.owner
-            for i in res.decisions
-            if i in nodes
-            and getattr(nodes[i], "min_certificate", None) is not None
-        ]
-        winner = min(owners) if owners else next(
-            i for i, c in enumerate(colors) if c == res.outcome
-        )
-    return FastRunResult(
-        n=res.n,
-        n_active=res.n - n_faulty,
-        outcome=res.outcome,
-        winner=winner,
-        rounds=res.rounds,
-        min_votes=res.good.min_votes,
-        max_votes=res.good.max_votes,
-        k_collision=res.good.k_collision,
-        find_min_agreement=res.good.find_min_agreement,
-        find_min_rounds=-1,                   # not observed by the engine
-        min_commitment_pulls_received=-1,     # not observed by the engine
-        total_messages=res.metrics.total_messages,
-        total_bits=res.metrics.total_bits,
-        max_message_bits=res.metrics.max_message_bits,
-    )
-
-
-def _deviation_worker(
-    args: tuple[tuple[Hashable, ...], float, str | None, tuple[int, ...],
-                tuple[int, ...], Defenses, int]
-) -> tuple[FastRunResult, FastRunResult, bool, bool, bool, int]:
-    """One paired (honest, deviant) agent-engine trial."""
-    colors, gamma, strategy, members, faulty, defenses, seed = args
-    faulty_set = frozenset(faulty)
-    honest_res = run_protocol(ProtocolConfig(
-        colors=list(colors), gamma=gamma, faulty=faulty_set, seed=seed,
-        defenses=defenses,
-    ))
-    deviation = (
-        make_plan(strategy, frozenset(members)) if strategy and members
-        else None
-    )
-    dev_res = run_protocol(ProtocolConfig(
-        colors=list(colors), gamma=gamma, faulty=faulty_set, seed=seed,
-        deviation=deviation, defenses=defenses,
-    ))
-    decided = set(dev_res.decisions.values())
-    split = (
-        dev_res.outcome is None and None not in decided and len(decided) > 1
-    )
-    detected = bool(dev_res.failed_agents)
-    forged = False
-    exposed = 0
-    for node in dev_res.extras.get("nodes", {}).values():
-        shared = getattr(node, "shared", None)
-        if shared is not None:
-            exposure = getattr(shared, "exposure", None)
-            if exposure is not None:
-                exposed = sum(1 for pullers in exposure.values() if pullers)
-            if getattr(shared, "forged", None) is not None:
-                forged = True
-        if getattr(node, "forged", None) is not None:
-            forged = True
-    return (
-        _run_result_to_fast(honest_res, colors, len(faulty_set)),
-        _run_result_to_fast(dev_res, colors, len(faulty_set)),
-        detected, split, forged, exposed,
-    )
+    return run_plan(plan, backend=backend, jobs=jobs, parallel=parallel,
+                    max_workers=max_workers)
 
 
 def run_deviation_trials_fast(
@@ -292,6 +150,8 @@ def run_deviation_trials_fast(
     faulty: frozenset[int] = frozenset(),
     defenses: Defenses = FULL_DEFENSES,
     engine: str = "auto",
+    backend: str = "auto",
+    jobs: int | None = None,
     parallel: bool = True,
     max_workers: int | None = None,
 ) -> StrategyBatchResult:
@@ -313,93 +173,12 @@ def run_deviation_trials_fast(
     Returns a :class:`~repro.fastpath.strategies.StrategyBatchResult`
     regardless of engine.
     """
-    if engine not in _DEVIATION_ENGINES:
-        raise ValueError(
-            f"unknown engine {engine!r}; known: {_DEVIATION_ENGINES}"
-        )
-    colors = tuple(colors)
-    seeds = [int(s) for s in seeds]
-    members = frozenset(members)
-    if engine == "auto":
-        engine = "batch-strategy"
-    if engine == "batch-strategy":
-        return simulate_strategy_fast_batch(
-            colors, seeds, strategy, members, gamma=gamma, faulty=faulty,
-            defenses=defenses,
-        )
-
-    args = [
-        (colors, gamma, strategy, tuple(sorted(members)),
-         tuple(sorted(faulty)), defenses, s)
-        for s in seeds
-    ]
-    rows = run_trials(
-        _deviation_worker, args,
-        parallel=(parallel and engine == "process"),
-        max_workers=max_workers,
+    plan = compile_deviation_plan(
+        colors, seeds, strategy, members, gamma=gamma, faulty=faulty,
+        defenses=defenses, engine=engine,
     )
-    honest_runs = [r[0] for r in rows]
-    dev_runs = [r[1] for r in rows]
-    return StrategyBatchResult(
-        strategy=strategy or "honest_shadow",
-        members=tuple(sorted(members)),
-        honest=batch_from_runs(honest_runs, colors),
-        deviant=batch_from_runs(dev_runs, colors),
-        detected=np.array([r[2] for r in rows], dtype=bool),
-        split=np.array([r[3] for r in rows], dtype=bool),
-        forged=np.array([r[4] for r in rows], dtype=bool),
-        exposed_members=np.array([r[5] for r in rows], dtype=np.int64),
-    )
-
-
-# ---------------------------------------------------------------------------
-# Graph-restricted (E10a) workloads
-# ---------------------------------------------------------------------------
-
-def _normalise_graphs(
-    graphs, n_trials: int
-) -> list[GraphCSR]:
-    """One CSR per trial from a single graph / per-trial graphs, in
-    either CSR or ``networkx`` form (shared objects stay shared, so the
-    batch tier can skip replicating the neighbour arrays)."""
-    if isinstance(graphs, GraphCSR) or not isinstance(
-        graphs, (list, tuple)
-    ):
-        one = (graphs if isinstance(graphs, GraphCSR)
-               else csr_from_networkx(graphs))
-        return [one] * n_trials
-    csrs = [
-        g if isinstance(g, GraphCSR) else csr_from_networkx(g)
-        for g in graphs
-    ]
-    if len(csrs) == 1:
-        csrs = csrs * n_trials
-    if len(csrs) != n_trials:
-        raise ValueError(f"got {len(csrs)} graphs for {n_trials} trials")
-    return csrs
-
-
-def _graph_agent_worker(
-    args: tuple[GraphCSR, tuple[Hashable, ...], float, tuple[int, ...], int]
-) -> tuple[int, bool, int, int, int, bool, int]:
-    """One per-agent graph trial, packed into the batch record shape."""
-    from repro.extensions.topologies import run_graph_protocol
-
-    csr, colors, gamma, faulty, seed = args
-    res = run_graph_protocol(
-        csr.to_networkx(), colors, gamma=gamma, seed=seed,
-        faulty=frozenset(faulty),
-    )
-    palette = list(dict.fromkeys(colors))
-    return (
-        csr.n - len(faulty),
-        res.outcome is not None,
-        res.winner if res.winner is not None else -1,
-        palette.index(res.outcome) if res.outcome is not None else -1,
-        res.zero_vote_agents,
-        res.split,
-        res.failed_agents,
-    )
+    return run_plan(plan, backend=backend, jobs=jobs, parallel=parallel,
+                    max_workers=max_workers)
 
 
 def run_graph_trials_fast(
@@ -410,6 +189,8 @@ def run_graph_trials_fast(
     gamma: float = 3.0,
     faulty: frozenset[int] | Iterable[frozenset[int]] | None = frozenset(),
     engine: str = "auto",
+    backend: str = "auto",
+    jobs: int | None = None,
     parallel: bool = True,
     max_workers: int | None = None,
 ) -> GraphBatchResult:
@@ -429,93 +210,11 @@ def run_graph_trials_fast(
         The per-agent engine (``run_graph_protocol``) over the process
         pool, or inline.
     """
-    if engine not in _GRAPH_ENGINES:
-        raise ValueError(
-            f"unknown engine {engine!r}; known: {_GRAPH_ENGINES}"
-        )
-    colors = tuple(colors)
-    seeds = [int(s) for s in seeds]
-    csrs = _normalise_graphs(graphs, len(seeds))
-    # Validate once so every tier accepts and rejects the same inputs.
-    faulty_list = normalise_faulty(faulty, len(seeds), len(colors))
-    if engine == "auto":
-        engine = "batch"
-    if engine in ("batch", "batch-parity"):
-        return simulate_graph_fast_batch(
-            csrs, colors, seeds, gamma=gamma, faulty=faulty_list,
-            seed_parity=(engine == "batch-parity"),
-        )
-
-    rows = run_trials(
-        _graph_agent_worker,
-        [(c, colors, gamma, tuple(sorted(f)), s)
-         for c, f, s in zip(csrs, faulty_list, seeds)],
-        parallel=(parallel and engine == "process"),
-        max_workers=max_workers,
+    plan = compile_graph_plan(
+        graphs, colors, seeds, gamma=gamma, faulty=faulty, engine=engine,
     )
-    cols = list(zip(*rows)) if rows else [[]] * 7
-    return GraphBatchResult(
-        n=len(colors),
-        n_trials=len(seeds),
-        colors=colors,
-        n_active=np.array(cols[0], dtype=np.int64),
-        success=np.array(cols[1], dtype=bool),
-        winner=np.array(cols[2], dtype=np.int64),
-        outcome_idx=np.array(cols[3], dtype=np.int64),
-        zero_vote_agents=np.array(cols[4], dtype=np.int64),
-        split=np.array(cols[5], dtype=bool),
-        failed_agents=np.array(cols[6], dtype=np.int64),
-    )
-
-
-# ---------------------------------------------------------------------------
-# Sequential GOSSIP (E10b) workloads
-# ---------------------------------------------------------------------------
-
-@dataclass(frozen=True)
-class AsyncBatchResult:
-    """Struct-of-arrays result of B sequential-model trials.
-
-    Each trial runs the E10b pair of measurements: min-aggregation over
-    a fresh value vector (``child("vals")`` of the trial seed) and the
-    fair leader election (:mod:`repro.extensions.async_gossip`)."""
-
-    n: int
-    n_trials: int
-    minagg_ticks: np.ndarray         # (B,) int64
-    election_converged: np.ndarray   # (B,) bool
-    election_winner: np.ndarray      # (B,) int64, -1: budget exhausted
-    election_ticks: np.ndarray       # (B,) int64
-
-    def __len__(self) -> int:
-        return self.n_trials
-
-    def minagg_ratio(self) -> np.ndarray:
-        """Ticks normalised by the classic n log2 n sequential bound."""
-        return self.minagg_ticks / (self.n * np.log2(self.n))
-
-    def election_converged_rate(self) -> float:
-        if self.n_trials == 0:
-            raise ValueError("empty batch has no rates")
-        return float(np.count_nonzero(self.election_converged)) \
-            / self.n_trials
-
-
-def _async_values(n: int, seed: int) -> np.ndarray:
-    """The E10b min-aggregation workload: n u.a.r. values in [n^3]."""
-    return SeedTree(seed).child("vals").generator().integers(n ** 3, size=n)
-
-
-def _async_agent_worker(
-    args: tuple[int, tuple[Hashable, ...], float, int]
-) -> tuple[int, bool, int, int]:
-    n, colors, factor, seed = args
-    ticks = int(async_min_ticks(_async_values(n, seed), seed=seed))
-    el = run_async_leader_election(
-        colors, seed=seed, tick_budget_factor=factor
-    )
-    return (ticks, el.converged,
-            el.winner if el.winner is not None else -1, el.ticks)
+    return run_plan(plan, backend=backend, jobs=jobs, parallel=parallel,
+                    max_workers=max_workers)
 
 
 def run_async_trials_fast(
@@ -525,6 +224,8 @@ def run_async_trials_fast(
     colors: Sequence[Hashable] | None = None,
     tick_budget_factor: float = 8.0,
     engine: str = "auto",
+    backend: str = "auto",
+    jobs: int | None = None,
     parallel: bool = True,
     max_workers: int | None = None,
 ) -> AsyncBatchResult:
@@ -536,49 +237,9 @@ def run_async_trials_fast(
     runs it inline (the sequential model has no message-level engine —
     the scalar tick loop *is* the reference).
     """
-    if engine not in _ASYNC_ENGINES:
-        raise ValueError(
-            f"unknown engine {engine!r}; known: {_ASYNC_ENGINES}"
-        )
-    if colors is None:
-        colors = tuple(f"id{i}" for i in range(n))
-    colors = tuple(colors)
-    if len(colors) != n:
-        raise ValueError(f"{len(colors)} colors for n={n}")
-    seeds = [int(s) for s in seeds]
-    if engine == "auto":
-        engine = "batch"
-    if engine == "batch":
-        values = np.stack([_async_values(n, s) for s in seeds]) \
-            if seeds else np.zeros((0, n), dtype=np.int64)
-        minagg = async_min_ticks_batch(values, seeds) if seeds else \
-            np.zeros(0, dtype=np.int64)
-        if seeds:
-            conv, winner, eticks = run_async_leader_election_batch(
-                colors, seeds, tick_budget_factor
-            )
-        else:
-            conv = np.zeros(0, dtype=bool)
-            winner = np.zeros(0, dtype=np.int64)
-            eticks = np.zeros(0, dtype=np.int64)
-        return AsyncBatchResult(
-            n=n, n_trials=len(seeds), minagg_ticks=minagg,
-            election_converged=conv, election_winner=winner,
-            election_ticks=eticks,
-        )
-
-    rows = run_trials(
-        _async_agent_worker,
-        [(n, colors, tick_budget_factor, s) for s in seeds],
-        parallel=(parallel and engine == "process"),
-        max_workers=max_workers,
+    plan = compile_async_plan(
+        n, seeds, colors=colors, tick_budget_factor=tick_budget_factor,
+        engine=engine,
     )
-    cols = list(zip(*rows)) if rows else [[]] * 4
-    return AsyncBatchResult(
-        n=n,
-        n_trials=len(seeds),
-        minagg_ticks=np.array(cols[0], dtype=np.int64),
-        election_converged=np.array(cols[1], dtype=bool),
-        election_winner=np.array(cols[2], dtype=np.int64),
-        election_ticks=np.array(cols[3], dtype=np.int64),
-    )
+    return run_plan(plan, backend=backend, jobs=jobs, parallel=parallel,
+                    max_workers=max_workers)

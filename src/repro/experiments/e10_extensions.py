@@ -60,6 +60,7 @@ class E10Options:
     seed: int = 1010
     engine: str = "auto"
     parallel: bool = True
+    jobs: int | None = None
 
 
 @experiment("e10", options=E10Options,
@@ -79,7 +80,8 @@ def run(opts: E10Options = E10Options()) -> tuple[Table, Table]:
         )
         res = run_graph_trials_fast(
             wl.csrs, balanced(opts.n), wl.seeds, gamma=opts.gamma,
-            faulty=wl.faulty, engine=opts.engine, parallel=opts.parallel,
+            faulty=wl.faulty, engine=opts.engine, jobs=opts.jobs,
+            parallel=opts.parallel,
         )
         topo.add_row(scenario, res.success_rate(), res.zero_vote_mean(),
                      res.split_rate(), wl.mean_patched_edges)
@@ -98,7 +100,7 @@ def run(opts: E10Options = E10Options()) -> tuple[Table, Table]:
         ]
         ares = run_async_trials_fast(
             n, seeds, colors=balanced(n), engine=async_engine,
-            parallel=opts.parallel,
+            jobs=opts.jobs, parallel=opts.parallel,
         )
         ratio, _ = mean_ci(ares.minagg_ratio())
         conv = int(np.count_nonzero(ares.election_converged))

@@ -50,6 +50,7 @@ class E1Options:
     seed: int = 2017
     engine: str = "auto"
     parallel: bool = True
+    jobs: int | None = None
 
 
 def tv_noise_floor(expected: dict[Hashable, float], trials: int) -> float:
@@ -97,7 +98,7 @@ def run(opts: E1Options = E1Options()) -> Table:
             seeds = [opts.seed + 1000 * i for i in range(opts.trials)]
             batch = run_trials_fast(
                 colors, seeds, gamma=opts.gamma,
-                engine=opts.engine, parallel=opts.parallel,
+                engine=opts.engine, jobs=opts.jobs, parallel=opts.parallel,
             )
             counts = batch.winning_counts()
             expected = expected_distribution(colors)

@@ -30,6 +30,7 @@ class E3Options:
     seed: int = 3303
     engine: str = "auto"
     parallel: bool = True
+    jobs: int | None = None
 
 
 @experiment("e3", options=E3Options,
@@ -47,7 +48,7 @@ def run(opts: E3Options = E3Options()) -> tuple[Table, Table]:
         seeds = [opts.seed + 11 * i for i in range(opts.trials)]
         batch = run_trials_fast(
             balanced(n), seeds, gamma=opts.gamma,
-            engine=opts.engine, parallel=opts.parallel,
+            engine=opts.engine, jobs=opts.jobs, parallel=opts.parallel,
         )
         mean_bits, _ = mean_ci(batch.max_message_bits)
         mean_votes, _ = mean_ci(batch.max_votes)

@@ -33,6 +33,7 @@ class E4Options:
     seed: int = 4404
     engine: str = "auto"
     parallel: bool = True
+    jobs: int | None = None
 
 
 @experiment("e4", options=E4Options,
@@ -53,7 +54,7 @@ def run(opts: E4Options = E4Options()) -> tuple[Table, Table]:
         seeds = [opts.seed + 13 * i for i in range(opts.trials)]
         batch = run_trials_fast(
             balanced(n), seeds, gamma=opts.gamma,
-            engine=opts.engine, parallel=opts.parallel,
+            engine=opts.engine, jobs=opts.jobs, parallel=opts.parallel,
         )
         msgs, _ = mean_ci(batch.total_messages)
         bits, _ = mean_ci(batch.total_bits)

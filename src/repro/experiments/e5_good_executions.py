@@ -34,6 +34,7 @@ class E5Options:
     seed: int = 5505
     engine: str = "auto"
     parallel: bool = True
+    jobs: int | None = None
 
 
 @experiment("e5", options=E5Options,
@@ -53,7 +54,7 @@ def run(opts: E5Options = E5Options()) -> Table:
             seeds = [opts.seed + 17 * i for i in range(opts.trials)]
             batch = run_trials_fast(
                 balanced(n), seeds, gamma=gamma,
-                engine=opts.engine, parallel=opts.parallel,
+                engine=opts.engine, jobs=opts.jobs, parallel=opts.parallel,
             )
             good = int(batch.is_good.sum())
             collisions = int(batch.k_collision.sum())

@@ -45,6 +45,7 @@ class E6Options:
     seed: int = 6606
     engine: str = "auto"
     parallel: bool = True
+    jobs: int | None = None
 
 
 def _faults(placement: str, colors, alpha: float, seed: int) -> frozenset[int]:
@@ -82,7 +83,7 @@ def run(opts: E6Options = E6Options()) -> Table:
             for gamma in opts.gammas:
                 batch = run_trials_fast(
                     colors, seeds, gamma=gamma, faulty=faulty,
-                    engine=opts.engine, parallel=opts.parallel,
+                    engine=opts.engine, jobs=opts.jobs, parallel=opts.parallel,
                 )
                 tv = total_variation(
                     empirical_distribution_from_counts(

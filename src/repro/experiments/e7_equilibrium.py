@@ -64,6 +64,7 @@ class E7Options:
     seed: int = 7707
     engine: str = "auto"             # auto -> batch-strategy
     parallel: bool = True
+    jobs: int | None = None
 
     def colors(self) -> list[str]:
         return skewed(self.n, minority=self.minority)
@@ -97,7 +98,7 @@ def run(opts: E7Options = E7Options()) -> Table:
         for t in opts.coalition_sizes:
             res = run_deviation_trials_fast(
                 colors, seeds, strategy, opts.members(t),
-                gamma=opts.gamma, engine=opts.engine,
+                gamma=opts.gamma, engine=opts.engine, jobs=opts.jobs,
                 parallel=opts.parallel,
             )
             honest_u = estimate_utility(

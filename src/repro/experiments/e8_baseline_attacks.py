@@ -38,6 +38,7 @@ class E8Options:
     seed: int = 8808
     engine: str = "auto"    # Protocol-P rows: auto -> batch-strategy
     parallel: bool = True
+    jobs: int | None = None
     # Second size for the round-scaling comparison: polling's Theta(n)
     # absorption versus P's O(log n) schedule only separates at scale.
     scaling_n: int = 512
@@ -85,7 +86,7 @@ def run(opts: E8Options = E8Options()) -> Table:
         rows = run_trials(
             _naive_trial,
             [(opts.n, opts.minority, opts.gamma, s, cheat) for s in seeds],
-            parallel=opts.parallel,
+            parallel=opts.parallel, max_workers=opts.jobs,
         )
         wins = sum(1 for w, _ in rows if w)
         fails = sum(1 for _, f in rows if f)
@@ -97,7 +98,7 @@ def run(opts: E8Options = E8Options()) -> Table:
         rows = run_trials(
             _polling_trial,
             [(opts.n, opts.minority, s, stubborn) for s in seeds],
-            parallel=opts.parallel,
+            parallel=opts.parallel, max_workers=opts.jobs,
         )
         wins = sum(1 for w, _, _ in rows if w)
         fails = sum(1 for _, f, _ in rows if f)
@@ -111,7 +112,7 @@ def run(opts: E8Options = E8Options()) -> Table:
     blue0 = colors.index("blue")
     res = run_deviation_trials_fast(
         colors, seeds, "underbid_alter", {blue0}, gamma=opts.gamma,
-        engine=opts.engine, parallel=opts.parallel,
+        engine=opts.engine, jobs=opts.jobs, parallel=opts.parallel,
     )
     params_rounds = ProtocolParams(
         n=opts.n, gamma=opts.gamma, num_colors=len(set(colors))
@@ -130,7 +131,7 @@ def run(opts: E8Options = E8Options()) -> Table:
         _polling_trial,
         [(big, opts.minority, opts.seed + 53 * i, False)
          for i in range(max(10, opts.trials // 4))],
-        parallel=opts.parallel,
+        parallel=opts.parallel, max_workers=opts.jobs,
     )
     poll_rounds, _ = mean_ci([r for _, _, r in poll_rows])
     p_rounds = ProtocolParams(n=big, gamma=opts.gamma).total_rounds

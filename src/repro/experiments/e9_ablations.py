@@ -53,6 +53,7 @@ class E9Options:
     seed: int = 9909
     engine: str = "auto"
     parallel: bool = True
+    jobs: int | None = None
 
 
 @experiment("e9", options=E9Options,
@@ -94,7 +95,7 @@ def run(opts: E9Options = E9Options()) -> Table:
         res = run_deviation_trials_fast(
             colors, seeds, strategy, frozenset(members), gamma=gamma,
             defenses=Defenses(**defense_kwargs), engine=opts.engine,
-            parallel=opts.parallel,
+            jobs=opts.jobs, parallel=opts.parallel,
         )
         outcomes = res.deviant.outcomes()
         wins = sum(1 for o in outcomes if o == "blue")

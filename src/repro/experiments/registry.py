@@ -30,15 +30,19 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Mapping, Sequence
 
+from repro.exec.backends import collect_execution
+from repro.exec.plan import AUTO_ENGINE as _PLAN_AUTO_ENGINE
 from repro.results import ExperimentResult, ResultSection, build_meta
 from repro.util.tables import Table
 
 __all__ = [
+    "EXECUTION_FIELDS",
     "ExperimentSpec",
     "experiment",
     "experiment_names",
     "get_experiment",
     "iter_experiments",
+    "options_dict",
     "run_experiment",
 ]
 
@@ -58,9 +62,36 @@ _MODULE_BY_NAME: dict[str, str] = {
 
 _REGISTRY: dict[str, "ExperimentSpec"] = {}
 
-#: What ``engine="auto"`` resolves to per experiment kind (DESIGN.md §1/§5).
-_AUTO_ENGINE = {"honest": "batch", "deviation": "batch-strategy",
-                "mixed": "batch-strategy"}
+#: What ``engine="auto"`` resolves to per experiment kind — sourced from
+#: the plan layer's single routing table (DESIGN.md §1/§5); ``mixed``
+#: experiments default to their deviation workloads' tier.
+_AUTO_ENGINE = {
+    "honest": _PLAN_AUTO_ENGINE["honest"],
+    "deviation": _PLAN_AUTO_ENGINE["deviation"],
+    "mixed": _PLAN_AUTO_ENGINE["deviation"],
+}
+
+#: Options fields that steer *execution mechanics* only.  They are
+#: guaranteed not to change result values (DESIGN.md §9), so they are
+#: excluded from the serialised options — and hence from the
+#: content-hash resume key: a sweep computed at ``jobs=1`` resumes
+#: cleanly under ``jobs=8`` and vice versa.  (The historical
+#: ``parallel``/``engine`` fields predate this rule and stay part of
+#: the key for archive stability.)
+EXECUTION_FIELDS = ("jobs",)
+
+
+def options_dict(opts: Any) -> dict[str, Any]:
+    """An options dataclass as the plain dict a result records.
+
+    ``dataclasses.asdict`` minus :data:`EXECUTION_FIELDS` — the one
+    converter used by results, studies and the CLI, so resume keys stay
+    consistent everywhere.
+    """
+    out = dataclasses.asdict(opts)
+    for name in EXECUTION_FIELDS:
+        out.pop(name, None)
+    return out
 
 
 @dataclass(frozen=True)
@@ -122,7 +153,8 @@ def experiment(
             elif overrides:
                 opts = dataclasses.replace(opts, **overrides)
             start = time.perf_counter()
-            out = fn(opts)
+            with collect_execution() as exec_records:
+                out = fn(opts)
             wall = time.perf_counter() - start
             if isinstance(out, ExperimentResult):
                 return out
@@ -134,17 +166,28 @@ def experiment(
                 )
             engine = getattr(opts, "engine", None)
             resolved = _AUTO_ENGINE[kind] if engine == "auto" else engine
+            backend = shards = None
+            if exec_records:
+                backend = (
+                    "parallel"
+                    if any(r.backend == "parallel" for r in exec_records)
+                    else "serial"
+                )
+                shards = sum(r.shards for r in exec_records)
             return ExperimentResult(
                 experiment=name,
                 title=title,
                 claim=claim,
-                options=dataclasses.asdict(opts),
+                options=options_dict(opts),
                 options_type=f"{options.__module__}.{options.__qualname__}",
                 sections=tuple(ResultSection.from_table(t) for t in tables),
                 meta=build_meta(
                     wall_time_s=wall,
                     engine=engine,
                     resolved_engine=resolved,
+                    backend=backend,
+                    jobs=getattr(opts, "jobs", None),
+                    shards=shards,
                     seed_spine=_seed_spine(opts, seed_strides),
                 ),
             )

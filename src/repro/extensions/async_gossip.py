@@ -42,11 +42,13 @@ from repro.util.faults import normalise_faulty
 from repro.util.rng import SeedTree
 
 __all__ = [
+    "AsyncBatchResult",
     "AsyncElectionResult",
     "AsyncMinTrace",
     "async_min_ticks",
     "async_min_ticks_batch",
     "async_min_trace",
+    "async_minagg_values",
     "election_keys",
     "run_async_leader_election",
     "run_async_leader_election_batch",
@@ -59,6 +61,40 @@ _DRAW_CHUNK = 4096
 
 #: Sort-key sentinel for faulty agents (their draw never circulates).
 _KEY_SENTINEL = np.iinfo(np.int64).max
+
+
+def async_minagg_values(n: int, seed: int) -> np.ndarray:
+    """The E10b min-aggregation workload: n u.a.r. values in [n^3]."""
+    return SeedTree(seed).child("vals").generator().integers(n ** 3, size=n)
+
+
+@dataclass(frozen=True)
+class AsyncBatchResult:
+    """Struct-of-arrays result of B sequential-model trials.
+
+    Each trial runs the E10b pair of measurements: min-aggregation over
+    a fresh value vector (``child("vals")`` of the trial seed, see
+    :func:`async_minagg_values`) and the fair leader election."""
+
+    n: int
+    n_trials: int
+    minagg_ticks: np.ndarray         # (B,) int64
+    election_converged: np.ndarray   # (B,) bool
+    election_winner: np.ndarray      # (B,) int64, -1: budget exhausted
+    election_ticks: np.ndarray       # (B,) int64
+
+    def __len__(self) -> int:
+        return self.n_trials
+
+    def minagg_ratio(self) -> np.ndarray:
+        """Ticks normalised by the classic n log2 n sequential bound."""
+        return self.minagg_ticks / (self.n * np.log2(self.n))
+
+    def election_converged_rate(self) -> float:
+        if self.n_trials == 0:
+            raise ValueError("empty batch has no rates")
+        return float(np.count_nonzero(self.election_converged)) \
+            / self.n_trials
 
 
 def _default_budget(n: int) -> int:

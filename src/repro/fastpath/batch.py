@@ -76,6 +76,7 @@ __all__ = [
     "active_matrix",
     "batch_from_runs",
     "simulate_protocol_fast_batch",
+    "stat_block_trials",
 ]
 
 # Elements (trial x agent x round cells) a parity-mode chunk may
@@ -89,6 +90,17 @@ _STAT_BLOCK_ELEMENTS = 1 << 22
 _STAT_STREAM_SALT = 0x_FA57_BA7C  # domain-separates block streams
 
 _INT64_MAX = np.iinfo(np.int64).max
+
+
+def stat_block_trials(n: int) -> int:
+    """Trials per statistical-mode block — the engine's stream quantum.
+
+    The statistical engine derives one RNG stream per fixed-size block
+    of trials (a function of ``n`` only), so a workload split at
+    multiples of this quantum reproduces the unsplit arrays bit-for-bit.
+    The parallel execution backend cuts its trial shards here.
+    """
+    return max(1, _STAT_BLOCK_ELEMENTS // n)
 
 
 @dataclass(frozen=True)
@@ -297,7 +309,7 @@ def simulate_protocol_fast_batch(
         block = max(1, budget // max(1, n_a_cap * q))
         simulate = _simulate_parity_chunk
     else:
-        block = max(1, _STAT_BLOCK_ELEMENTS // n)
+        block = stat_block_trials(n)
         simulate = _simulate_stat_block
 
     chunks = [

@@ -60,11 +60,27 @@ from repro.fastpath.simulate import _exact_index_sums
 from repro.util.faults import normalise_faulty
 from repro.util.rng import SeedTree
 
-__all__ = ["GraphBatchResult", "simulate_graph_fast_batch"]
+__all__ = [
+    "GraphBatchResult",
+    "graph_block_trials",
+    "simulate_graph_fast_batch",
+]
 
 # Statistical mode materialises (block, n, q)-sized tensors; the block
 # is a fixed function of (n, q) so results never depend on chunking.
 _BLOCK_ELEMENTS = 1 << 21
+
+
+def graph_block_trials(n: int, q: int) -> int:
+    """Trials per graph-tier block — the engine's stream quantum.
+
+    Statistical mode derives one RNG stream per fixed-size block of
+    trials; splitting a workload at multiples of this quantum (as the
+    parallel execution backend does) reproduces the unsplit arrays
+    bit-for-bit.  (Parity mode replays per-trial streams and is
+    split-invariant at any boundary.)
+    """
+    return max(1, _BLOCK_ELEMENTS // max(1, n * q))
 _GRAPH_STREAM_SALT = 0x_6A4F_57B1  # domain-separates graph block streams
 
 _KEY_SENTINEL = np.iinfo(np.int64).max
@@ -388,7 +404,7 @@ def simulate_graph_fast_batch(
             failed_agents=empty_i.copy(),
         )
 
-    block = max(1, _BLOCK_ELEMENTS // max(1, n * params.q))
+    block = graph_block_trials(n, params.q)
     chunks = [
         _simulate_block(
             n, params, csr_list[i:i + block], seeds[i:i + block],

@@ -61,7 +61,21 @@ from repro.fastpath.simulate import (
     _peer_dtype,
 )
 
-__all__ = ["StrategyBatchResult", "simulate_strategy_fast_batch"]
+__all__ = [
+    "StrategyBatchResult",
+    "simulate_strategy_fast_batch",
+    "strategy_block_trials",
+]
+
+
+def strategy_block_trials(n_a: int, q: int) -> int:
+    """Trials per strategy-tier block — the engine's stream quantum.
+
+    One RNG stream per fixed-size block of paired trials; splitting a
+    workload at multiples of this quantum (as the parallel execution
+    backend does) reproduces the unsplit arrays bit-for-bit.
+    """
+    return max(1, _STRAT_BLOCK_ELEMENTS // max(1, n_a * q))
 
 # Fixed per-block element budget; trials per block are a function of n
 # only, so results never depend on memory chunking.
@@ -219,7 +233,7 @@ def simulate_strategy_fast_batch(
 
     n_trials = len(seeds)
     n_a = n - len(faulty)
-    block = max(1, _STRAT_BLOCK_ELEMENTS // max(1, n_a * q))
+    block = strategy_block_trials(n_a, q)
     starts = list(range(0, n_trials, block)) or [0]
     memo_key = (colors, tuple(seeds), gamma, faulty, defenses)
     cached = (

@@ -185,12 +185,23 @@ class ResultMeta:
     (base + stride * trial-index, one stride per workload family);
     ``engine`` is the requested simulation tier, ``resolved_engine`` the
     tier ``auto`` routed to (DESIGN.md §1).
+
+    ``backend``/``jobs``/``shards`` record how the run was *executed*
+    (DESIGN.md §9): the plan backend (``serial``/``parallel``; the
+    latter whenever any workload of the run sharded across the process
+    pool), the worker count requested, and the total trial shards the
+    run's workloads were cut into.  Execution mechanics never affect
+    result values — these fields live in the metadata precisely because
+    they are not part of a result's identity (or its resume key).
     """
 
     version: str = ""
     wall_time_s: float | None = None
     engine: str | None = None
     resolved_engine: str | None = None
+    backend: str | None = None
+    jobs: int | None = None
+    shards: int | None = None
     seed_spine: Mapping[str, Any] = field(default_factory=dict)
     created_unix: float | None = None
 
@@ -200,6 +211,9 @@ class ResultMeta:
             "wall_time_s": self.wall_time_s,
             "engine": self.engine,
             "resolved_engine": self.resolved_engine,
+            "backend": self.backend,
+            "jobs": self.jobs,
+            "shards": self.shards,
             "seed_spine": _jsonify(self.seed_spine),
             "created_unix": self.created_unix,
         }
@@ -211,6 +225,9 @@ class ResultMeta:
             wall_time_s=data.get("wall_time_s"),
             engine=data.get("engine"),
             resolved_engine=data.get("resolved_engine"),
+            backend=data.get("backend"),
+            jobs=data.get("jobs"),
+            shards=data.get("shards"),
             seed_spine=dict(data.get("seed_spine", {})),
             created_unix=data.get("created_unix"),
         )
@@ -268,6 +285,20 @@ class ExperimentResult:
     def canonical(self) -> str:
         """Canonical JSON text (equality-comparable across round trips)."""
         return canonical_json(self.to_json_dict())
+
+    def payload_json(self) -> str:
+        """Canonical JSON of everything except the ``meta`` block.
+
+        The metadata records *how* a result was produced (wall time,
+        backend, job count, timestamps) and therefore differs between
+        otherwise identical runs; the payload is what determinism
+        guarantees cover.  Two runs of the same (experiment, options)
+        cell — serial or parallel, any ``jobs`` — must produce
+        byte-identical payloads (CI diffs them, DESIGN.md §9).
+        """
+        doc = self.to_json_dict()
+        doc.pop("meta", None)
+        return canonical_json(doc)
 
     def to_json_dict(self) -> dict[str, Any]:
         return {
@@ -421,6 +452,9 @@ def build_meta(
     wall_time_s: float | None = None,
     engine: str | None = None,
     resolved_engine: str | None = None,
+    backend: str | None = None,
+    jobs: int | None = None,
+    shards: int | None = None,
     seed_spine: Mapping[str, Any] | None = None,
 ) -> ResultMeta:
     """A :class:`ResultMeta` stamped with the package version and time."""
@@ -429,6 +463,9 @@ def build_meta(
         wall_time_s=wall_time_s,
         engine=engine,
         resolved_engine=resolved_engine,
+        backend=backend,
+        jobs=jobs,
+        shards=shards,
         seed_spine=dict(seed_spine or {}),
         created_unix=time.time(),
     )

@@ -38,7 +38,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
 
-from repro.experiments.registry import ExperimentSpec, get_experiment
+from repro.experiments.registry import (
+    ExperimentSpec,
+    get_experiment,
+    options_dict,
+)
 from repro.results import (
     ExperimentResult,
     canonical_json,
@@ -190,7 +194,7 @@ class Study:
         out = []
         for assignment in self.assignments():
             opts = self.cell_options(assignment)
-            key = result_key(self.spec.name, dataclasses.asdict(opts))
+            key = result_key(self.spec.name, options_dict(opts))
             out.append(StudyCell(assignment=assignment, options=opts,
                                  key=key))
         return out
@@ -201,6 +205,7 @@ class Study:
         *,
         resume: bool = True,
         save: bool = True,
+        jobs: int | None = None,
         progress: Callable[[StudyCell], None] | None = None,
     ) -> StudyResult:
         """Run (or resume) every cell of the grid, in order.
@@ -213,22 +218,37 @@ class Study:
         sweep resumed after an upgrade recomputes rather than silently
         mixing results from two implementations.  ``progress`` is
         called with each finished :class:`StudyCell`.
+
+        ``jobs`` parallelises the sweep's cells from the inside: each
+        cell runs with that many plan-backend workers (injected into
+        options classes that expose a ``jobs`` field).  Because ``jobs``
+        is an execution-only field it never touches a cell's resume key
+        — results computed at any worker count interchange freely — and
+        cells stay sequential, so an interrupted sweep still resumes at
+        a clean cell boundary.
         """
         from repro import __version__
 
         done: list[StudyCell] = []
+        jobs_field = (
+            jobs is not None
+            and any(f.name == "jobs" for f in self.spec.option_fields())
+        )
         for cell in self.cells():
             result, cached = None, False
             if out_dir is not None and resume:
                 result = find_result(
                     out_dir, self.spec.name,
-                    dataclasses.asdict(cell.options),
+                    options_dict(cell.options),
                 )
                 if result is not None and result.meta.version != __version__:
                     result = None
                 cached = result is not None
             if result is None:
-                result = self.spec.run(cell.options)
+                run_opts = cell.options
+                if jobs_field:
+                    run_opts = dataclasses.replace(run_opts, jobs=jobs)
+                result = self.spec.run(run_opts)
                 if out_dir is not None and save:
                     save_result(result, out_dir)
             cell = dataclasses.replace(cell, result=result, cached=cached)

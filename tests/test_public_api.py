@@ -25,7 +25,7 @@ class TestTopLevelExports:
     def test_version_present(self):
         import repro
 
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"
 
 
 class TestSubpackagesImportClean:
@@ -37,6 +37,8 @@ class TestSubpackagesImportClean:
         "repro.experiments", "repro.experiments.workloads",
         "repro.experiments.registry", "repro.results", "repro.study",
         "repro.extensions", "repro.cli", "repro.util",
+        "repro.exec", "repro.exec.plan", "repro.exec.backends",
+        "repro.exec.reducers", "repro.exec.pool",
     ])
     def test_import(self, module):
         mod = importlib.import_module(module)
@@ -45,7 +47,7 @@ class TestSubpackagesImportClean:
     @pytest.mark.parametrize("module", [
         "repro.gossip", "repro.core", "repro.agents", "repro.adversary",
         "repro.baselines", "repro.fastpath", "repro.analysis",
-        "repro.extensions", "repro.util",
+        "repro.extensions", "repro.util", "repro.exec",
     ])
     def test_package_all_resolves(self, module):
         mod = importlib.import_module(module)

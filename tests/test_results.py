@@ -25,6 +25,7 @@ from repro.experiments.registry import (
     experiment_names,
     get_experiment,
     iter_experiments,
+    options_dict,
     run_experiment,
 )
 from repro.results import (
@@ -75,7 +76,14 @@ class TestRegistry:
         spec = get_experiment("e1")
         opts = spec.options_cls(**GOLDEN_OPTS["e1"])
         result = spec.run(opts)
-        assert result.options == dataclasses.asdict(opts)
+        # Recorded options are the dataclass minus the execution-only
+        # fields (``jobs`` steers the backend, never the results, and
+        # must not perturb the content-hash resume key).
+        assert result.options == options_dict(opts)
+        expected = dict(dataclasses.asdict(opts))
+        expected.pop("jobs")
+        assert result.options == expected
+        assert "jobs" not in result.options
 
 
 @pytest.mark.parametrize("name", EXPERIMENTS)
