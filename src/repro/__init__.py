@@ -17,7 +17,7 @@ Quickstart::
 See ``examples/`` and README.md for more.
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from repro.core import (
     Certificate,

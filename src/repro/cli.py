@@ -22,6 +22,7 @@ Examples::
     python -m repro experiment e5 --set sizes=64,256 --set gammas=1.0,3.0
     python -m repro experiment e1 --trials 8 --format json --out results/ci
     python -m repro experiment e10 --jobs 4
+    python -m repro experiment e10 --jobs 4 --shard-timeout 60 --max-retries 3
     python -m repro experiment all --trials 20 --serial
     python -m repro experiment all --jobs 4
     python -m repro list --json
@@ -42,6 +43,7 @@ from typing import Any, Sequence
 
 from repro.agents.plans import STRATEGY_NAMES, plan
 from repro.core.protocol import ProtocolConfig, run_protocol
+from repro.exec.backends import get_fault_policy, set_fault_policy
 from repro.experiments import workloads
 from repro.experiments.registry import (
     ExperimentSpec,
@@ -97,6 +99,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "backend (same as --set jobs=N); the batched "
                             "tiers shard trial blocks across N workers, "
                             "byte-identically to a serial run")
+    exp_p.add_argument("--shard-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-time budget per trial shard on the "
+                            "parallel backend; a shard past it is "
+                            "retried on a respawned pool (default: "
+                            "no timeout)")
+    exp_p.add_argument("--max-retries", type=int, default=None, metavar="N",
+                       help="failed-shard retries before the shard "
+                            "degrades to a serial in-process re-run "
+                            "(byte-identical, default: 2)")
     exp_p.add_argument("--set", dest="overrides", action="append",
                        default=[], metavar="FIELD=VALUE",
                        help="override any option field of the experiment; "
@@ -274,6 +286,19 @@ def _emit_result(result: ExperimentResult, fmt: str,
 def _cmd_experiment(args: argparse.Namespace) -> int:
     names = experiment_names() if args.name == "all" else [args.name]
     sweep = args.name == "all"
+    if args.shard_timeout is not None or args.max_retries is not None:
+        policy_fields: dict[str, Any] = {}
+        if args.shard_timeout is not None:
+            policy_fields["shard_timeout_s"] = args.shard_timeout
+        if args.max_retries is not None:
+            policy_fields["max_retries"] = args.max_retries
+        try:
+            set_fault_policy(
+                dataclasses.replace(get_fault_policy(), **policy_fields)
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     try:
         raw = _parse_overrides(args.overrides)
         if args.trials is not None and "trials" in raw:

@@ -15,6 +15,9 @@ One sharded, multi-core backend behind every fastpath front door:
   batch results.
 * :mod:`repro.exec.pool` — the process-pool primitive shared by the
   ``process`` tier and the parallel backend.
+* :mod:`repro.exec.chaos` — deterministic fault injection (worker
+  kills, shard delays, torn archive writes) exercising the recovery
+  paths above; see DESIGN.md §10 for the fault-tolerance contract.
 
 The experiment front doors (:mod:`repro.experiments.dispatch`) are thin
 adapters over this package; see DESIGN.md §9 for the sharding and
@@ -24,10 +27,15 @@ merge semantics.
 from repro.exec.backends import (
     BACKENDS,
     ExecRecord,
+    FaultPolicy,
     collect_execution,
+    fault_policy,
+    get_fault_policy,
     resolve_backend,
     run_plan,
+    set_fault_policy,
 )
+from repro.exec.chaos import ChaosConfig, ShardChaos, chaos_enabled
 from repro.exec.plan import (
     AUTO_ENGINE,
     BATCH_ENGINES,
@@ -47,18 +55,25 @@ __all__ = [
     "BACKENDS",
     "BATCH_ENGINES",
     "ENGINES",
+    "ChaosConfig",
     "ExecRecord",
     "ExecutionPlan",
+    "FaultPolicy",
+    "ShardChaos",
     "ShardReducer",
+    "chaos_enabled",
     "collect_execution",
+    "fault_policy",
     "compile_async_plan",
     "compile_deviation_plan",
     "compile_graph_plan",
     "compile_honest_plan",
     "default_workers",
+    "get_fault_policy",
     "merge_shards",
     "resolve_backend",
     "resolve_engine",
     "run_plan",
     "run_trials",
+    "set_fault_policy",
 ]

@@ -30,13 +30,38 @@ engines' block streams cannot be cut finer without changing results.
 Every run is recorded with the telemetry collector
 (:func:`collect_execution`), which is how experiment metadata learns
 the backend, job count and shard count that produced a result.
+
+Fault tolerance
+---------------
+The parallel backend assumes workers can die.  Each shard submission
+is governed by the active :class:`FaultPolicy`: a failed shard (worker
+exception, ``BrokenProcessPool`` after a worker was killed, or a shard
+running past ``shard_timeout_s``) is retried with exponential backoff
+— respawning the pool whenever it broke or a hung worker had to be
+reclaimed — and a shard that keeps failing past ``max_retries``
+*degrades*: it re-runs serially in this process.  Because per-shard
+seeds are deterministic slices of the plan's seed spine, every
+recovery path (retry on a fresh worker, respawned pool, serial
+degradation) reproduces exactly the bytes the unfaulted run would
+have produced; faults cost wall time, never correctness.  The
+recovery counters (retries, failures, degradations, recovery wall
+time) land in :class:`ExecRecord` and from there in ``ResultMeta``.
+:mod:`repro.exec.chaos` injects faults deterministically so all of
+this stays tested.
 """
 
 from __future__ import annotations
 
 import math
+import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Hashable, Iterator
@@ -44,6 +69,7 @@ from typing import Any, Hashable, Iterator
 import numpy as np
 
 from repro.agents.plans import plan as make_plan
+from repro.exec import chaos
 from repro.core.defenses import Defenses
 from repro.core.protocol import ProtocolConfig, run_protocol
 from repro.exec.plan import BATCH_ENGINES, ExecutionPlan
@@ -73,9 +99,13 @@ from repro.fastpath.strategies import (
 __all__ = [
     "BACKENDS",
     "ExecRecord",
+    "FaultPolicy",
     "collect_execution",
+    "fault_policy",
+    "get_fault_policy",
     "resolve_backend",
     "run_plan",
+    "set_fault_policy",
 ]
 
 BACKENDS = ("auto", "serial", "parallel")
@@ -91,7 +121,15 @@ _SHARDS_PER_JOB = 2
 
 @dataclass(frozen=True)
 class ExecRecord:
-    """One plan execution, as seen by an active telemetry collector."""
+    """One plan execution, as seen by an active telemetry collector.
+
+    The recovery fields are zero on a fault-free run: ``retries``
+    counts shard resubmissions after a fault, ``shard_failures`` the
+    individual failure events (worker exception / broken pool /
+    timeout), ``degraded_shards`` the shards that exhausted their
+    retry budget and re-ran serially in-process, ``recovery_wall_s``
+    the wall time spent on backoff, pool respawns and serial re-runs.
+    """
 
     kind: str
     engine: str
@@ -100,6 +138,10 @@ class ExecRecord:
     shards: int
     n_trials: int
     wall_time_s: float
+    retries: int = 0
+    shard_failures: int = 0
+    degraded_shards: int = 0
+    recovery_wall_s: float = 0.0
 
 
 _collectors: list[list[ExecRecord]] = []
@@ -127,6 +169,106 @@ def collect_execution() -> Iterator[list[ExecRecord]]:
 def _record(record: ExecRecord) -> None:
     for collector in _collectors:
         collector.append(record)
+
+
+# ---------------------------------------------------------------------------
+# Fault policy: how the parallel backend survives failing shards
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Retry/timeout/degradation knobs for the parallel backend.
+
+    ``shard_timeout_s`` is the wall-time budget of one shard submission
+    (queue wait included); ``None`` disables the timeout.  A shard that
+    fails more than ``max_retries`` times degrades to a serial
+    in-process re-run — slower, byte-identical — so a study completes
+    even under a persistently failing pool.  ``backoff_base_s`` /
+    ``backoff_factor`` shape the exponential pause between retry
+    rounds.  These are execution-only knobs: like ``jobs``, they can
+    never change a result's bytes (DESIGN.md §10).
+    """
+
+    shard_timeout_s: float | None = None
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.shard_timeout_s is not None and self.shard_timeout_s <= 0:
+            raise ValueError(
+                f"shard_timeout_s must be > 0 or None, got "
+                f"{self.shard_timeout_s}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base_s < 0:
+            raise ValueError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}"
+            )
+
+    def backoff_s(self, round_index: int) -> float:
+        """The pause before retry round ``round_index`` (0-based)."""
+        return self.backoff_base_s * self.backoff_factor ** round_index
+
+
+_DEFAULT_POLICY = FaultPolicy()
+_policy_override: FaultPolicy | None = None
+
+
+def set_fault_policy(policy: FaultPolicy | None) -> None:
+    """Set the process-wide fault policy (``None`` restores defaults).
+
+    The CLI's ``--shard-timeout``/``--max-retries`` flags land here;
+    per-call overrides go through ``run_plan(..., policy=...)``.
+    """
+    global _policy_override
+    _policy_override = policy
+
+
+def get_fault_policy() -> FaultPolicy:
+    """The active fault policy.
+
+    Priority: :func:`set_fault_policy` override, then the
+    ``REPRO_SHARD_TIMEOUT`` / ``REPRO_MAX_RETRIES`` environment knobs,
+    then the defaults (no timeout, 2 retries).
+    """
+    if _policy_override is not None:
+        return _policy_override
+    timeout = os.environ.get("REPRO_SHARD_TIMEOUT")
+    retries = os.environ.get("REPRO_MAX_RETRIES")
+    if timeout is None and retries is None:
+        return _DEFAULT_POLICY
+    return FaultPolicy(
+        shard_timeout_s=float(timeout) if timeout else None,
+        max_retries=(
+            int(retries) if retries is not None
+            else _DEFAULT_POLICY.max_retries
+        ),
+    )
+
+
+@contextmanager
+def fault_policy(policy: FaultPolicy) -> Iterator[FaultPolicy]:
+    """Scoped :func:`set_fault_policy` (restores the previous policy)."""
+    previous = _policy_override
+    set_fault_policy(policy)
+    try:
+        yield policy
+    finally:
+        set_fault_policy(previous)
+
+
+@dataclass
+class _Recovery:
+    """Mutable recovery counters for one parallel plan execution."""
+
+    retries: int = 0
+    failures: int = 0
+    degraded: int = 0
+    wall_s: float = 0.0
 
 
 # ---------------------------------------------------------------------------
@@ -161,24 +303,29 @@ def run_plan(
     jobs: int | None = None,
     parallel: bool = True,
     max_workers: int | None = None,
+    policy: FaultPolicy | None = None,
 ) -> Any:
     """Execute a compiled plan and return its engine's batch result.
 
     ``parallel``/``max_workers`` are the per-trial tiers' legacy knobs
     (the ``process`` engine's own pool); ``jobs`` is the plan-level
-    worker count.  Results are deterministic in the plan alone — no
-    backend, job count or shard layout leaks into them.
+    worker count; ``policy`` overrides the process-wide
+    :func:`get_fault_policy` for this run.  Results are deterministic
+    in the plan alone — no backend, job count, shard layout or fault
+    recovery leaks into them.
     """
     backend, jobs = resolve_backend(backend, jobs)
+    policy = policy if policy is not None else get_fault_policy()
     start = time.perf_counter()
     shards = 1
+    recovery = _Recovery()
     if (
         backend == "parallel"
         and jobs > 1
         and plan.engine in BATCH_ENGINES
         and plan.n_trials > plan.shard_quantum
     ):
-        result, shards = _run_parallel(plan, jobs)
+        result, shards, recovery = _run_parallel(plan, jobs, policy)
         ran = "parallel"
     else:
         if plan.engine == "process" and max_workers is None and jobs > 1:
@@ -189,6 +336,10 @@ def run_plan(
         kind=plan.kind, engine=plan.engine, backend=ran, jobs=jobs,
         shards=shards, n_trials=plan.n_trials,
         wall_time_s=time.perf_counter() - start,
+        retries=recovery.retries,
+        shard_failures=recovery.failures,
+        degraded_shards=recovery.degraded,
+        recovery_wall_s=recovery.wall_s,
     ))
     return result
 
@@ -217,19 +368,166 @@ def shard_bounds(
     ]
 
 
-def _compute_shard(shard_plan: ExecutionPlan) -> Any:
-    """Pool worker: run one shard's sub-plan serially."""
+def _compute_shard(
+    args: tuple[ExecutionPlan, "chaos.ShardChaos | None"]
+) -> Any:
+    """Pool worker: run one shard's sub-plan serially.
+
+    The second element is the shard's injected fault plan (``None``
+    outside chaos runs), applied before the computation so recovery
+    paths are exercised by deterministic schedules.
+    """
+    shard_plan, spec = args
+    if spec is not None:
+        spec.apply()
     return _compute(shard_plan, parallel=False)
 
 
-def _run_parallel(plan: ExecutionPlan, jobs: int) -> tuple[Any, int]:
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without waiting on hung or dying workers."""
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.kill()
+        except Exception:  # racing a worker that already exited
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+
+
+def _run_parallel(
+    plan: ExecutionPlan, jobs: int, policy: FaultPolicy
+) -> tuple[Any, int, _Recovery]:
+    """The fault-tolerant sharded backend.
+
+    Shards are submitted in rounds: each round fans the remaining
+    shards over the pool and drains completions.  A worker exception
+    marks its shard failed (retried next round); a broken pool or a
+    shard past its timeout kills and respawns the pool (hung workers
+    cannot be reclaimed any other way) and the round restarts with
+    whatever is left.  A shard that fails more than
+    ``policy.max_retries`` times re-runs serially in this process —
+    the trusted degradation path, byte-identical because shard seeds
+    are deterministic slices of the plan's spine.
+    """
     bounds = shard_bounds(plan.n_trials, plan.shard_quantum, jobs)
+    recovery = _Recovery()
     if len(bounds) <= 1:
-        return _compute(plan, parallel=False), 1
+        return _compute(plan, parallel=False), 1, recovery
     shard_plans = [plan.slice(lo, hi) for lo, hi in bounds]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(bounds))) as pool:
-        result = merge_shards(pool.map(_compute_shard, shard_plans))
-    return result, len(bounds)
+    n_shards = len(bounds)
+    workers = min(jobs, n_shards)
+    cfg = chaos.active_config()
+    results: dict[int, Any] = {}
+    submissions = [0] * n_shards      # chaos attempt index per shard
+    failures = [0] * n_shards
+    remaining = set(range(n_shards))
+    round_no = 0
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        while remaining:
+            for idx in sorted(remaining):
+                if failures[idx] > policy.max_retries:
+                    # Degrade: the shard re-runs serially in-process
+                    # (never through chaos or the pool), so the study
+                    # completes with identical bytes.
+                    t0 = time.perf_counter()
+                    results[idx] = _compute(shard_plans[idx], parallel=False)
+                    recovery.degraded += 1
+                    recovery.wall_s += time.perf_counter() - t0
+                    remaining.discard(idx)
+            if not remaining:
+                break
+            if round_no > 0 and policy.backoff_base_s > 0:
+                pause = policy.backoff_s(round_no - 1)
+                time.sleep(pause)
+                recovery.wall_s += pause
+            round_no += 1
+            pool = _run_round(
+                pool, shard_plans, remaining, results, submissions,
+                failures, policy, cfg, recovery, workers,
+            )
+    except BaseException:
+        # KeyboardInterrupt (and anything else unrecoverable): cancel
+        # queued shards and kill in-flight workers before propagating.
+        _kill_pool(pool)
+        raise
+    pool.shutdown(wait=False, cancel_futures=True)
+    merged = merge_shards(results[i] for i in range(n_shards))
+    return merged, n_shards, recovery
+
+
+def _run_round(
+    pool: ProcessPoolExecutor,
+    shard_plans: list[ExecutionPlan],
+    remaining: set[int],
+    results: dict[int, Any],
+    submissions: list[int],
+    failures: list[int],
+    policy: FaultPolicy,
+    cfg: "chaos.ChaosConfig | None",
+    recovery: _Recovery,
+    workers: int,
+) -> ProcessPoolExecutor:
+    """Submit every remaining shard once and drain completions.
+
+    Completed shards leave ``remaining``; failed ones stay for the
+    next round with their failure count bumped.  Returns the pool to
+    use next — a fresh one whenever this round broke the old pool
+    (worker death) or had to reclaim a hung worker (shard timeout).
+    """
+    pending: dict[Future, int] = {}
+    deadlines: dict[int, float] = {}
+    broke = False
+    try:
+        for idx in sorted(remaining):
+            spec = cfg.shard_chaos(idx, submissions[idx]) if cfg else None
+            if submissions[idx] > 0:
+                recovery.retries += 1
+            submissions[idx] += 1
+            future = pool.submit(_compute_shard, (shard_plans[idx], spec))
+            pending[future] = idx
+            if policy.shard_timeout_s is not None:
+                deadlines[idx] = time.monotonic() + policy.shard_timeout_s
+    except BrokenProcessPool:
+        broke = True
+    while pending and not broke:
+        timeout = None
+        if deadlines:
+            timeout = max(0.0, min(deadlines.values()) - time.monotonic())
+        done, _ = wait(pending, timeout=timeout,
+                       return_when=FIRST_COMPLETED)
+        for future in done:
+            idx = pending.pop(future)
+            deadlines.pop(idx, None)
+            try:
+                results[idx] = future.result()
+            except BrokenProcessPool:
+                failures[idx] += 1
+                recovery.failures += 1
+                broke = True
+            except Exception:
+                # A picklable worker exception: the pool survives, the
+                # shard retries next round.
+                failures[idx] += 1
+                recovery.failures += 1
+            else:
+                remaining.discard(idx)
+        now = time.monotonic()
+        expired = [i for i, dl in deadlines.items() if dl <= now]
+        if expired:
+            for idx in expired:
+                failures[idx] += 1
+                recovery.failures += 1
+            broke = True
+    if broke:
+        t0 = time.perf_counter()
+        _kill_pool(pool)
+        pool = ProcessPoolExecutor(max_workers=workers)
+        recovery.wall_s += time.perf_counter() - t0
+    return pool
 
 
 # ---------------------------------------------------------------------------

@@ -25,8 +25,14 @@ A = TypeVar("A")
 
 
 def default_workers() -> int:
-    """Worker count: leave a couple of cores for the OS, cap at 16."""
-    cpus = os.cpu_count() or 1
+    """Worker count: leave a couple of cores for the OS, cap at 16.
+
+    ``os.cpu_count()`` may return ``None`` (the platform cannot tell);
+    that means one worker, never a crash.
+    """
+    cpus = os.cpu_count()
+    if cpus is None:
+        return 1
     return max(1, min(16, cpus - 2))
 
 
@@ -43,6 +49,11 @@ def run_trials(
     ``parallel=False`` (or a single work item) executes inline, which is
     also the debugger-friendly path.
     """
+    if max_workers is not None and max_workers < 1:
+        raise ValueError(
+            f"max_workers must be >= 1, got {max_workers} "
+            "(pass None for the machine default)"
+        )
     args = list(args)
     if not args:
         return []

@@ -40,10 +40,13 @@ def _merge_field(name: str, values: list[Any]) -> Any:
         return int(sum(values))
     if dataclasses.is_dataclass(first) and not isinstance(first, type):
         return _merge_results(values)
-    if any(v != first for v in values[1:]):
-        raise ValueError(
-            f"shards disagree on field {name!r}: {values!r}"
-        )
+    for index, value in enumerate(values[1:], start=1):
+        if value != first:
+            raise ValueError(
+                f"shards disagree on field {name!r}: shard 0 has "
+                f"{first!r}, shard {index} has {value!r} — the shards "
+                "were cut from different workloads"
+            )
     return first
 
 

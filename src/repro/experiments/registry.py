@@ -167,6 +167,8 @@ def experiment(
             engine = getattr(opts, "engine", None)
             resolved = _AUTO_ENGINE[kind] if engine == "auto" else engine
             backend = shards = None
+            retries = shard_failures = degraded = 0
+            recovery_wall = 0.0
             if exec_records:
                 backend = (
                     "parallel"
@@ -174,6 +176,12 @@ def experiment(
                     else "serial"
                 )
                 shards = sum(r.shards for r in exec_records)
+                retries = sum(r.retries for r in exec_records)
+                shard_failures = sum(r.shard_failures for r in exec_records)
+                degraded = sum(r.degraded_shards for r in exec_records)
+                recovery_wall = sum(
+                    r.recovery_wall_s for r in exec_records
+                )
             return ExperimentResult(
                 experiment=name,
                 title=title,
@@ -188,6 +196,10 @@ def experiment(
                     backend=backend,
                     jobs=getattr(opts, "jobs", None),
                     shards=shards,
+                    retries=retries,
+                    shard_failures=shard_failures,
+                    degraded_shards=degraded,
+                    recovery_wall_s=recovery_wall,
                     seed_spine=_seed_spine(opts, seed_strides),
                 ),
             )

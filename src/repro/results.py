@@ -23,6 +23,16 @@ Cell values are normalised to JSON-native scalars (``None``/bool/int/
 float/str; NumPy scalars via ``.item()``, anything else via ``str``) at
 record time, which is render-neutral for every type the experiments
 emit.
+
+Crash safety
+------------
+Every writer publishes atomically: the document is written to a
+same-directory temp file, fsynced, and renamed over the destination
+(:func:`atomic_write_text`).  A SIGKILL mid-write therefore leaves
+either the previous version or nothing — never a truncated archive
+that a later resume would have to guess about.  (Resume paths still
+quarantine corrupt files defensively — pre-1.4 archives and bad disks
+exist; see :meth:`repro.study.Study.run` and DESIGN.md §10.)
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ import csv
 import hashlib
 import io
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -43,11 +54,13 @@ __all__ = [
     "ExperimentResult",
     "ResultMeta",
     "ResultSection",
+    "atomic_write_text",
     "build_meta",
     "canonical_json",
     "find_result",
     "load_result",
     "result_key",
+    "result_path",
     "save_result",
     "write_csv",
     "write_json",
@@ -193,6 +206,14 @@ class ResultMeta:
     run's workloads were cut into.  Execution mechanics never affect
     result values — these fields live in the metadata precisely because
     they are not part of a result's identity (or its resume key).
+
+    ``retries``/``shard_failures``/``degraded_shards``/
+    ``recovery_wall_s`` make fault recovery observable (DESIGN.md §10):
+    shard resubmissions after a fault, individual failure events
+    (worker crash / broken pool / timeout), shards that exhausted their
+    retry budget and re-ran serially in-process, and the wall time
+    recovery cost.  All zero on a fault-free run — and, like the other
+    execution fields, guaranteed not to correlate with result bytes.
     """
 
     version: str = ""
@@ -202,6 +223,10 @@ class ResultMeta:
     backend: str | None = None
     jobs: int | None = None
     shards: int | None = None
+    retries: int = 0
+    shard_failures: int = 0
+    degraded_shards: int = 0
+    recovery_wall_s: float = 0.0
     seed_spine: Mapping[str, Any] = field(default_factory=dict)
     created_unix: float | None = None
 
@@ -214,6 +239,10 @@ class ResultMeta:
             "backend": self.backend,
             "jobs": self.jobs,
             "shards": self.shards,
+            "retries": self.retries,
+            "shard_failures": self.shard_failures,
+            "degraded_shards": self.degraded_shards,
+            "recovery_wall_s": self.recovery_wall_s,
             "seed_spine": _jsonify(self.seed_spine),
             "created_unix": self.created_unix,
         }
@@ -228,6 +257,10 @@ class ResultMeta:
             backend=data.get("backend"),
             jobs=data.get("jobs"),
             shards=data.get("shards"),
+            retries=data.get("retries", 0),
+            shard_failures=data.get("shard_failures", 0),
+            degraded_shards=data.get("degraded_shards", 0),
+            recovery_wall_s=data.get("recovery_wall_s", 0.0),
             seed_spine=dict(data.get("seed_spine", {})),
             created_unix=data.get("created_unix"),
         )
@@ -338,13 +371,51 @@ class ExperimentResult:
 # Writers and loaders
 # ---------------------------------------------------------------------------
 
-def write_json(result: ExperimentResult, path: str | Path) -> Path:
-    """Write the full result as an indented JSON document."""
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Crash-safe publish: temp file in the target directory + rename.
+
+    The bytes are flushed and fsynced before the rename, so a crash at
+    any point leaves either the complete new document or the previous
+    state of ``path`` — never a truncated file.  (The rename is atomic
+    on POSIX; temp files are pid-suffixed so concurrent writers cannot
+    collide.)  Under an installed chaos config the *published* file may
+    then be deliberately torn, exercising the quarantine paths that
+    guard against pre-atomic archives and disk corruption.
+    """
     path = Path(path)
-    path.write_text(
-        json.dumps(result.to_json_dict(), indent=2, sort_keys=False) + "\n"
-    )
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        with tmp.open("w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    _chaos_tear(path)
     return path
+
+
+def _chaos_tear(path: Path) -> None:
+    """Fault injection: truncate a just-published archive to half.
+
+    Active only inside :func:`repro.exec.chaos.install` blocks (the
+    import is deferred — nothing here runs on ordinary saves).
+    """
+    from repro.exec import chaos  # deferred: results has no exec dependency
+
+    cfg = chaos.active_config()
+    if cfg is not None and cfg.truncates(path.name):
+        data = path.read_text()
+        path.write_text(data[: len(data) // 2])
+
+
+def write_json(result: ExperimentResult, path: str | Path) -> Path:
+    """Write the full result as an indented JSON document (atomically)."""
+    return atomic_write_text(
+        path,
+        json.dumps(result.to_json_dict(), indent=2, sort_keys=False) + "\n",
+    )
 
 
 def write_jsonl(result: ExperimentResult, path: str | Path) -> Path:
@@ -354,13 +425,12 @@ def write_jsonl(result: ExperimentResult, path: str | Path) -> Path:
     next to the header-keyed row values, so concatenated JSONL files
     from many runs stay self-describing.
     """
-    path = Path(path)
     key = result.key
-    with path.open("w") as fh:
-        for rec in result.records():
-            line = {"experiment": result.experiment, "key": key, **rec}
-            fh.write(json.dumps(_jsonify(line), sort_keys=False) + "\n")
-    return path
+    lines = []
+    for rec in result.records():
+        line = {"experiment": result.experiment, "key": key, **rec}
+        lines.append(json.dumps(_jsonify(line), sort_keys=False))
+    return atomic_write_text(path, "".join(f"{line}\n" for line in lines))
 
 
 def csv_sections(result: ExperimentResult) -> list[str]:
@@ -385,13 +455,10 @@ def write_csv(result: ExperimentResult, path: str | Path) -> list[Path]:
     path = Path(path)
     texts = csv_sections(result)
     if len(texts) == 1:
-        path.write_text(texts[0])
-        return [path]
+        return [atomic_write_text(path, texts[0])]
     paths = []
     for i, text in enumerate(texts):
-        p = path.with_suffix(f".{i}.csv")
-        p.write_text(text)
-        paths.append(p)
+        paths.append(atomic_write_text(path.with_suffix(f".{i}.csv"), text))
     return paths
 
 
@@ -422,14 +489,22 @@ def save_result(
         elif fmt == "csv":
             paths.extend(write_csv(result, target))
         else:
-            target.write_text(result.render() + "\n")
-            paths.append(target)
+            paths.append(atomic_write_text(target, result.render() + "\n"))
     return paths
 
 
 def load_result(path: str | Path) -> ExperimentResult:
     """Load a result saved by :func:`write_json`/:func:`save_result`."""
     return ExperimentResult.from_json_dict(json.loads(Path(path).read_text()))
+
+
+def result_path(
+    out_dir: str | Path, experiment: str, options: Mapping[str, Any]
+) -> Path:
+    """Where :func:`save_result` puts an (experiment, options) cell."""
+    return (
+        Path(out_dir) / f"{experiment}-{result_key(experiment, options)}.json"
+    )
 
 
 def find_result(
@@ -439,9 +514,11 @@ def find_result(
 
     This is the resume primitive: compute the content-hash key, look for
     its JSON file, and load it instead of re-running.  Returns ``None``
-    when the cell has not been computed (or was saved elsewhere).
+    when the cell has not been computed (or was saved elsewhere); a
+    file that exists but cannot be parsed raises — resume paths decide
+    whether to quarantine it (:meth:`repro.study.Study.run` does).
     """
-    path = Path(out_dir) / f"{experiment}-{result_key(experiment, options)}.json"
+    path = result_path(out_dir, experiment, options)
     if not path.is_file():
         return None
     return load_result(path)
@@ -455,6 +532,10 @@ def build_meta(
     backend: str | None = None,
     jobs: int | None = None,
     shards: int | None = None,
+    retries: int = 0,
+    shard_failures: int = 0,
+    degraded_shards: int = 0,
+    recovery_wall_s: float = 0.0,
     seed_spine: Mapping[str, Any] | None = None,
 ) -> ResultMeta:
     """A :class:`ResultMeta` stamped with the package version and time."""
@@ -466,6 +547,10 @@ def build_meta(
         backend=backend,
         jobs=jobs,
         shards=shards,
+        retries=retries,
+        shard_failures=shard_failures,
+        degraded_shards=degraded_shards,
+        recovery_wall_s=recovery_wall_s,
         seed_spine=dict(seed_spine or {}),
         created_unix=time.time(),
     )

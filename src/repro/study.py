@@ -20,6 +20,18 @@ Determinism and resume
   sweeps resume where they stopped and finished grids re-slice for
   free.
 
+Crash safety (DESIGN.md §10)
+----------------------------
+A study run with an output directory is kill-safe: every cell archive
+and the final manifest publish atomically (temp file + rename), and a
+:class:`StudyJournal` — an append-only JSONL checkpoint next to the
+archives — records each completed cell as it finishes.  Resuming after
+a SIGKILL re-runs exactly the incomplete cells: complete archives load
+as ``cached``, a half-written or corrupt archive is *quarantined*
+(renamed to ``<name>.corrupt``) and its cell recomputed, and a torn
+trailing journal line (the crash moment itself) is ignored by the
+tolerant reader.
+
 Example::
 
     study = Study("e1", {"gamma": [2.0, 3.0], "sizes": [(64,), (128,)]},
@@ -34,6 +46,9 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import itertools
+import json
+import os
+import sys
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
@@ -45,13 +60,21 @@ from repro.experiments.registry import (
 )
 from repro.results import (
     ExperimentResult,
+    atomic_write_text,
     canonical_json,
-    find_result,
+    load_result,
     result_key,
+    result_path,
     save_result,
 )
 
-__all__ = ["Study", "StudyCell", "StudyResult", "derive_cell_seed"]
+__all__ = [
+    "Study",
+    "StudyCell",
+    "StudyJournal",
+    "StudyResult",
+    "derive_cell_seed",
+]
 
 
 def derive_cell_seed(study_seed: int, assignment: Mapping[str, Any]) -> int:
@@ -68,21 +91,85 @@ def derive_cell_seed(study_seed: int, assignment: Mapping[str, Any]) -> int:
 
 @dataclass(frozen=True)
 class StudyCell:
-    """One grid cell: its assignment, options, resume key and result."""
+    """One grid cell: its assignment, options, resume key and result.
+
+    ``recovered`` marks a cell whose cached archive was corrupt on
+    resume: the file was quarantined to ``<name>.corrupt`` and the
+    cell recomputed from its deterministic seed.
+    """
 
     assignment: Mapping[str, Any]
     options: Any
     key: str
     result: ExperimentResult | None = None
     cached: bool = False
+    recovered: bool = False
+
+
+class StudyJournal:
+    """An append-only JSONL checkpoint of one study's progress.
+
+    Each line is a self-contained event (``study`` header, one ``cell``
+    line per completed cell, ``quarantine`` for corrupt archives, a
+    final ``end``).  Appends are flushed and fsynced line-by-line, so
+    the journal is current up to the crash instant; the reader skips a
+    torn trailing line instead of raising.  The journal is the study's
+    recovery record — cell archives remain the source of truth for
+    result bytes, keyed by content hash.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    @classmethod
+    def for_study(cls, out_dir: str | Path, experiment: str) -> "StudyJournal":
+        return cls(Path(out_dir) / f"{experiment}-study.journal.jsonl")
+
+    def append(self, event: Mapping[str, Any]) -> None:
+        with self.path.open("a") as fh:
+            fh.write(json.dumps(dict(event), sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def events(self) -> list[dict[str, Any]]:
+        """Every parseable event; a truncated last line is skipped."""
+        if not self.path.is_file():
+            return []
+        out: list[dict[str, Any]] = []
+        lines = self.path.read_text().split("\n")
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                out.append(json.loads(line))
+            except json.JSONDecodeError:
+                if i < len(lines) - 2:
+                    # Only the final (possibly torn) line may be bad.
+                    raise
+        return out
+
+    def done_keys(self) -> set[str]:
+        """Resume keys of cells the journal records as completed."""
+        return {
+            e["key"] for e in self.events()
+            if e.get("event") == "cell" and e.get("status") == "done"
+        }
+
+    def reset(self) -> None:
+        self.path.unlink(missing_ok=True)
 
 
 @dataclass(frozen=True)
 class StudyResult:
-    """The outcome of :meth:`Study.run`: every cell, in grid order."""
+    """The outcome of :meth:`Study.run`: every cell, in grid order.
+
+    ``quarantined`` lists the resume keys whose cached archives were
+    corrupt and had to be recomputed.
+    """
 
     experiment: str
     cells: tuple[StudyCell, ...]
+    quarantined: tuple[str, ...] = ()
 
     def results(self) -> list[ExperimentResult]:
         return [c.result for c in self.cells if c.result is not None]
@@ -107,11 +194,13 @@ class StudyResult:
         """A JSON-ready index of the sweep (cell keys + cache hits)."""
         return {
             "experiment": self.experiment,
+            "quarantined": list(self.quarantined),
             "cells": [
                 {
                     "assignment": dict(c.assignment),
                     "key": c.key,
                     "cached": c.cached,
+                    "recovered": c.recovered,
                 }
                 for c in self.cells
             ],
@@ -226,21 +315,42 @@ class Study:
         — results computed at any worker count interchange freely — and
         cells stay sequential, so an interrupted sweep still resumes at
         a clean cell boundary.
+
+        With ``out_dir`` the run is kill-safe: archives and the final
+        ``<experiment>-study.manifest.json`` publish atomically, a
+        :class:`StudyJournal` checkpoints each completed cell, and a
+        cached archive that fails to load (truncated or corrupt JSON)
+        is quarantined to ``<name>.corrupt`` and its cell recomputed —
+        byte-identically, thanks to deterministic per-cell seeds —
+        instead of crashing the sweep.
         """
         from repro import __version__
 
         done: list[StudyCell] = []
+        quarantined: list[str] = []
         jobs_field = (
             jobs is not None
             and any(f.name == "jobs" for f in self.spec.option_fields())
         )
+        journal = None
+        if out_dir is not None:
+            Path(out_dir).mkdir(parents=True, exist_ok=True)
+            journal = StudyJournal.for_study(out_dir, self.spec.name)
+            if not resume:
+                journal.reset()
+            journal.append({
+                "event": "study",
+                "experiment": self.spec.name,
+                "n_cells": len(self.assignments()),
+                "grid": {k: [str(v) for v in vs]
+                         for k, vs in self.grid.items()},
+                "version": __version__,
+            })
         for cell in self.cells():
-            result, cached = None, False
+            result, cached, recovered = None, False, False
             if out_dir is not None and resume:
-                result = find_result(
-                    out_dir, self.spec.name,
-                    options_dict(cell.options),
-                )
+                result, recovered = self._load_cached(out_dir, cell,
+                                                      journal, quarantined)
                 if result is not None and result.meta.version != __version__:
                     result = None
                 cached = result is not None
@@ -251,8 +361,65 @@ class Study:
                 result = self.spec.run(run_opts)
                 if out_dir is not None and save:
                     save_result(result, out_dir)
-            cell = dataclasses.replace(cell, result=result, cached=cached)
+            if journal is not None:
+                journal.append({
+                    "event": "cell",
+                    "key": cell.key,
+                    "status": "done",
+                    "cached": cached,
+                    "recovered": recovered,
+                })
+            cell = dataclasses.replace(cell, result=result, cached=cached,
+                                       recovered=recovered)
             done.append(cell)
             if progress is not None:
                 progress(cell)
-        return StudyResult(experiment=self.spec.name, cells=tuple(done))
+        study_result = StudyResult(
+            experiment=self.spec.name, cells=tuple(done),
+            quarantined=tuple(quarantined),
+        )
+        if out_dir is not None and save:
+            atomic_write_text(
+                Path(out_dir) / f"{self.spec.name}-study.manifest.json",
+                json.dumps(study_result.manifest(), indent=2) + "\n",
+            )
+        if journal is not None:
+            journal.append({"event": "end"})
+        return study_result
+
+    def _load_cached(
+        self,
+        out_dir: str | Path,
+        cell: StudyCell,
+        journal: StudyJournal | None,
+        quarantined: list[str],
+    ) -> tuple[ExperimentResult | None, bool]:
+        """Load one cell's cached archive, quarantining corruption.
+
+        Returns ``(result, recovered)``: ``result`` is ``None`` when
+        the cell must (re)compute, and ``recovered`` is True when a
+        corrupt archive was moved aside to ``<name>.corrupt`` — the
+        half-written leftovers of a kill mid-write (or a bad disk)
+        must cost one recompute, never the whole sweep.
+        """
+        path = result_path(out_dir, self.spec.name, options_dict(cell.options))
+        if not path.is_file():
+            return None, False
+        try:
+            return load_result(path), False
+        except (ValueError, KeyError, TypeError) as exc:
+            quarantine = path.with_name(path.name + ".corrupt")
+            path.replace(quarantine)
+            print(
+                f"warning: quarantined corrupt cached result {path.name} "
+                f"-> {quarantine.name} ({exc}); re-running cell",
+                file=sys.stderr,
+            )
+            quarantined.append(cell.key)
+            if journal is not None:
+                journal.append({
+                    "event": "quarantine",
+                    "key": cell.key,
+                    "file": path.name,
+                })
+            return None, True

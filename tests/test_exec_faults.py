@@ -1,0 +1,633 @@
+"""The fault-tolerance recovery matrix (DESIGN.md §10).
+
+Every recovery path of the execution layer is exercised here with
+deterministic fault injection (:mod:`repro.exec.chaos`): worker crash
+mid-shard, shard timeout with pool respawn, serial degradation after
+the retry budget, torn archive writes quarantined on resume, a
+SIGKILLed study resuming from its checkpoint journal, and
+KeyboardInterrupt cancelling in-flight shards cleanly.  The invariant
+checked throughout: **faults cost wall time, never bytes** — every
+recovered run is byte-identical to an unfaulted ``jobs=1`` run.
+
+The heavier end-to-end chaos runs are gated on ``REPRO_CHAOS=1``
+(CI's chaos job sets it); the core matrix always runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.exec import (
+    FaultPolicy,
+    chaos_enabled,
+    collect_execution,
+    fault_policy,
+    merge_shards,
+    resolve_backend,
+    run_plan,
+    run_trials,
+    set_fault_policy,
+)
+from repro.exec import chaos
+from repro.exec.plan import compile_honest_plan
+from repro.exec.pool import default_workers
+from repro.experiments.dispatch import run_async_trials_fast, run_trials_fast
+from repro.experiments.registry import run_experiment
+from repro.experiments.workloads import balanced
+from repro.results import (
+    ResultMeta,
+    atomic_write_text,
+    build_meta,
+    load_result,
+    save_result,
+)
+from repro.study import Study, StudyJournal
+
+needs_chaos_env = pytest.mark.skipif(
+    not chaos_enabled(),
+    reason="heavy chaos suite; set REPRO_CHAOS=1 (the CI chaos job does)",
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_fault_policy():
+    """Tests that set the process-wide policy must not leak it."""
+    yield
+    set_fault_policy(None)
+
+
+def _fields_equal(a, b) -> bool:
+    for f in dataclasses.fields(a):
+        x, y = getattr(a, f.name), getattr(b, f.name)
+        if isinstance(x, np.ndarray):
+            if not np.array_equal(x, y):
+                return False
+        elif dataclasses.is_dataclass(x) and not isinstance(x, type):
+            if not _fields_equal(x, y):
+                return False
+        elif x != y:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Guard rails: worker-count handling, policy validation
+# ---------------------------------------------------------------------------
+
+class TestPoolGuards:
+    def test_default_workers_survives_unknown_cpu_count(self, monkeypatch):
+        monkeypatch.setattr("repro.exec.pool.os.cpu_count", lambda: None)
+        assert default_workers() == 1
+
+    def test_default_workers_floor_and_cap(self, monkeypatch):
+        monkeypatch.setattr("repro.exec.pool.os.cpu_count", lambda: 1)
+        assert default_workers() == 1
+        monkeypatch.setattr("repro.exec.pool.os.cpu_count", lambda: 64)
+        assert default_workers() == 16
+
+    @pytest.mark.parametrize("bad", [0, -1, -8])
+    def test_run_trials_rejects_nonpositive_workers(self, bad):
+        with pytest.raises(ValueError, match="max_workers"):
+            run_trials(abs, [1, 2], max_workers=bad)
+
+    @pytest.mark.parametrize("bad", [0, -2])
+    def test_resolve_backend_rejects_nonpositive_jobs(self, bad):
+        with pytest.raises(ValueError, match="jobs"):
+            resolve_backend("auto", bad)
+
+    def test_fault_policy_validation(self):
+        with pytest.raises(ValueError, match="shard_timeout_s"):
+            FaultPolicy(shard_timeout_s=0)
+        with pytest.raises(ValueError, match="shard_timeout_s"):
+            FaultPolicy(shard_timeout_s=-1.0)
+        with pytest.raises(ValueError, match="max_retries"):
+            FaultPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="backoff_base_s"):
+            FaultPolicy(backoff_base_s=-0.1)
+
+    def test_fault_policy_env_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_TIMEOUT", "12.5")
+        monkeypatch.setenv("REPRO_MAX_RETRIES", "5")
+        from repro.exec.backends import get_fault_policy
+
+        policy = get_fault_policy()
+        assert policy.shard_timeout_s == 12.5
+        assert policy.max_retries == 5
+
+    def test_fault_policy_context_restores(self):
+        from repro.exec.backends import get_fault_policy
+
+        before = get_fault_policy()
+        with fault_policy(FaultPolicy(max_retries=9)):
+            assert get_fault_policy().max_retries == 9
+        assert get_fault_policy() == before
+
+
+# ---------------------------------------------------------------------------
+# Chaos schedules are deterministic and recoverable by construction
+# ---------------------------------------------------------------------------
+
+class TestChaosSchedule:
+    def test_schedule_deterministic(self):
+        a = chaos.ChaosConfig(seed=42, kill_rate=0.5, delay_rate=0.5)
+        b = chaos.ChaosConfig(seed=42, kill_rate=0.5, delay_rate=0.5)
+        for shard in range(20):
+            for attempt in range(3):
+                assert a.shard_chaos(shard, attempt) == \
+                    b.shard_chaos(shard, attempt)
+        assert a.truncates("x.json") == b.truncates("x.json")
+
+    def test_seed_changes_schedule(self):
+        a = chaos.ChaosConfig(seed=1, kill_rate=0.5)
+        b = chaos.ChaosConfig(seed=2, kill_rate=0.5)
+        plans_a = [a.shard_chaos(s, 0).kill for s in range(64)]
+        plans_b = [b.shard_chaos(s, 0).kill for s in range(64)]
+        assert plans_a != plans_b
+
+    def test_attempts_past_budget_run_clean(self):
+        cfg = chaos.ChaosConfig(seed=0, kill_rate=1.0, delay_rate=1.0,
+                                max_faulty_attempts=2)
+        for shard in range(8):
+            assert cfg.shard_chaos(shard, 2) == chaos.ShardChaos()
+            assert cfg.shard_chaos(shard, 5) == chaos.ShardChaos()
+
+    def test_from_env_gated(self):
+        assert chaos.ChaosConfig.from_env({}) is None
+        assert chaos.ChaosConfig.from_env({"REPRO_CHAOS": "0"}) is None
+        cfg = chaos.ChaosConfig.from_env(
+            {"REPRO_CHAOS": "1", "REPRO_CHAOS_SEED": "7",
+             "REPRO_CHAOS_KILL_RATE": "0.25"}
+        )
+        assert cfg is not None
+        assert cfg.seed == 7
+        assert cfg.kill_rate == 0.25
+
+    def test_install_scopes_and_restores(self):
+        assert chaos.active_config() is None
+        with chaos.install(chaos.ChaosConfig(seed=3)) as cfg:
+            assert chaos.active_config() is cfg
+        assert chaos.active_config() is None
+
+
+# ---------------------------------------------------------------------------
+# Reducer diagnostics
+# ---------------------------------------------------------------------------
+
+class TestReducerDiagnostics:
+    def test_mismatch_names_field_shard_and_values(self):
+        a = run_trials_fast(balanced(16), range(4))
+        b = run_trials_fast(balanced(16), range(4))
+        c = run_trials_fast(balanced(18), range(4))
+        with pytest.raises(ValueError) as exc:
+            merge_shards([a, b, c])
+        message = str(exc.value)
+        assert "'n'" in message
+        assert "shard 0" in message and "shard 2" in message
+        assert "16" in message and "18" in message
+
+
+# ---------------------------------------------------------------------------
+# Crash-safe archive writes
+# ---------------------------------------------------------------------------
+
+class TestAtomicWrites:
+    def test_no_temp_files_left_behind(self, tmp_path):
+        result = run_experiment("e1", sizes=(16,), workloads=("balanced",),
+                                trials=4, parallel=False)
+        save_result(result, tmp_path, formats=("json", "jsonl", "csv", "txt"))
+        leftovers = [p.name for p in tmp_path.iterdir() if ".tmp." in p.name]
+        assert leftovers == []
+        loaded = load_result(tmp_path / f"e1-{result.key}.json")
+        assert loaded.payload_json() == result.payload_json()
+
+    def test_failed_publish_preserves_previous_version(
+        self, tmp_path, monkeypatch
+    ):
+        target = tmp_path / "doc.json"
+        atomic_write_text(target, '{"v": 1}')
+
+        def boom(src, dst):
+            raise OSError("simulated crash at rename")
+
+        monkeypatch.setattr("repro.results.os.replace", boom)
+        with pytest.raises(OSError, match="simulated crash"):
+            atomic_write_text(target, '{"v": 2}')
+        monkeypatch.undo()
+        # The previous version is intact and no temp file survives.
+        assert json.loads(target.read_text()) == {"v": 1}
+        assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]
+
+
+# ---------------------------------------------------------------------------
+# The recovery matrix: crash, timeout, degradation, poisoned shards
+# ---------------------------------------------------------------------------
+
+class TestShardRecovery:
+    """Chaos-driven faults on a genuinely sharded workload.
+
+    ``batch-parity`` has shard quantum 1, so a 10-trial run at
+    ``jobs=2`` cuts into real shards even at n=24.
+    """
+
+    COLORS = balanced(24)
+    SEEDS = range(10)
+
+    def _serial(self):
+        return run_trials_fast(self.COLORS, self.SEEDS,
+                               engine="batch-parity")
+
+    def test_worker_crash_mid_shard_recovers(self):
+        serial = self._serial()
+        cfg = chaos.ChaosConfig(seed=11, kill_rate=1.0,
+                                max_faulty_attempts=1)
+        with chaos.install(cfg), fault_policy(
+            FaultPolicy(backoff_base_s=0.01)
+        ), collect_execution() as records:
+            recovered = run_trials_fast(self.COLORS, self.SEEDS,
+                                        engine="batch-parity", jobs=2)
+        (rec,) = records
+        assert rec.backend == "parallel"
+        assert rec.shard_failures > 0
+        assert rec.retries > 0
+        assert rec.degraded_shards == 0
+        assert _fields_equal(serial, recovered)
+
+    def test_shard_timeout_respawns_and_recovers(self):
+        serial = self._serial()
+        cfg = chaos.ChaosConfig(seed=12, delay_rate=1.0, delay_s=1.5,
+                                max_faulty_attempts=1)
+        start = time.monotonic()
+        with chaos.install(cfg), fault_policy(
+            FaultPolicy(shard_timeout_s=0.3, backoff_base_s=0.01)
+        ), collect_execution() as records:
+            recovered = run_trials_fast(self.COLORS, self.SEEDS,
+                                        engine="batch-parity", jobs=2)
+        (rec,) = records
+        assert rec.shard_failures > 0
+        assert rec.retries > 0
+        # The hung first attempts were abandoned, not waited out.
+        assert time.monotonic() - start < 10.0
+        assert _fields_equal(serial, recovered)
+
+    def test_persistent_failure_degrades_serially(self):
+        serial = self._serial()
+        cfg = chaos.ChaosConfig(seed=13, kill_rate=1.0,
+                                max_faulty_attempts=99)
+        with chaos.install(cfg), fault_policy(
+            FaultPolicy(max_retries=1, backoff_base_s=0.01)
+        ), collect_execution() as records:
+            recovered = run_trials_fast(self.COLORS, self.SEEDS,
+                                        engine="batch-parity", jobs=2)
+        (rec,) = records
+        assert rec.degraded_shards >= 1
+        assert rec.recovery_wall_s > 0
+        assert _fields_equal(serial, recovered)
+
+    def test_poisoned_plan_raises_instead_of_hanging(self):
+        """A shard that fails deterministically (a real bug, not a
+        fault) must surface its error from the serial degradation
+        re-run — never retry forever."""
+        plan = compile_honest_plan(self.COLORS, self.SEEDS,
+                                   engine="batch-parity")
+        poisoned = dataclasses.replace(
+            plan, options={**plan.options, "gamma": "not-a-float"}
+        )
+        with fault_policy(FaultPolicy(max_retries=0, backoff_base_s=0.0)):
+            with pytest.raises(TypeError):
+                run_plan(poisoned, jobs=2)
+
+    def test_async_front_door_recovers(self):
+        serial = run_async_trials_fast(16, range(8), colors=balanced(16))
+        cfg = chaos.ChaosConfig(seed=14, kill_rate=0.7,
+                                max_faulty_attempts=1)
+        with chaos.install(cfg), fault_policy(
+            FaultPolicy(backoff_base_s=0.01)
+        ):
+            recovered = run_async_trials_fast(16, range(8),
+                                              colors=balanced(16), jobs=2)
+        assert _fields_equal(serial, recovered)
+
+
+# ---------------------------------------------------------------------------
+# Telemetry: recovery is observable in ResultMeta
+# ---------------------------------------------------------------------------
+
+class TestRecoveryTelemetry:
+    def test_result_meta_roundtrips_recovery_fields(self):
+        meta = build_meta(retries=3, shard_failures=4, degraded_shards=1,
+                          recovery_wall_s=0.5)
+        doc = meta.to_json_dict()
+        assert doc["retries"] == 3
+        assert doc["shard_failures"] == 4
+        assert doc["degraded_shards"] == 1
+        assert doc["recovery_wall_s"] == 0.5
+        assert ResultMeta.from_json_dict(doc) == meta
+
+    def test_legacy_meta_defaults_to_zero(self):
+        meta = ResultMeta.from_json_dict({"version": "1.3.0"})
+        assert meta.retries == 0
+        assert meta.shard_failures == 0
+        assert meta.degraded_shards == 0
+        assert meta.recovery_wall_s == 0.0
+
+    def test_experiment_meta_records_recovery(self):
+        cfg = chaos.ChaosConfig(seed=15, kill_rate=1.0,
+                                max_faulty_attempts=1)
+        with chaos.install(cfg), fault_policy(
+            FaultPolicy(backoff_base_s=0.01)
+        ):
+            result = run_experiment(
+                "e1", sizes=(16,), workloads=("balanced",), trials=8,
+                engine="batch-parity", parallel=False, jobs=2,
+            )
+        assert result.meta.backend == "parallel"
+        assert result.meta.retries > 0
+        assert result.meta.shard_failures > 0
+        clean = run_experiment(
+            "e1", sizes=(16,), workloads=("balanced",), trials=8,
+            engine="batch-parity", parallel=False, jobs=1,
+        )
+        assert clean.meta.retries == 0
+        assert result.payload_json() == clean.payload_json()
+
+
+# ---------------------------------------------------------------------------
+# Study resilience: quarantine, journal, SIGKILL resume
+# ---------------------------------------------------------------------------
+
+def _tiny_study() -> Study:
+    return Study("e1", {"gamma": [2.0, 3.0]}, trials=6, sizes=(16,),
+                 workloads=("balanced",), parallel=False)
+
+
+class TestStudyRecovery:
+    def test_corrupt_cached_cell_quarantined_and_rerun(self, tmp_path,
+                                                       capsys):
+        first = _tiny_study().run(out_dir=tmp_path)
+        victim = sorted(tmp_path.glob("e1-*.json"))[0]
+        if "manifest" in victim.name:
+            victim = sorted(tmp_path.glob("e1-*.json"))[1]
+        victim.write_text(victim.read_text()[:40])  # torn write
+        second = _tiny_study().run(out_dir=tmp_path)
+        assert len(second.quarantined) == 1
+        assert (tmp_path / f"{victim.name}.corrupt").is_file()
+        assert sum(c.recovered for c in second.cells) == 1
+        assert sum(c.cached for c in second.cells) == 1
+        payloads = lambda sr: [c.result.payload_json() for c in sr.cells]
+        assert payloads(first) == payloads(second)
+        assert "quarantined corrupt cached result" in \
+            capsys.readouterr().err
+        # Third run: everything is healthy again.
+        third = _tiny_study().run(out_dir=tmp_path)
+        assert all(c.cached for c in third.cells)
+        assert third.quarantined == ()
+
+    def test_journal_records_progress(self, tmp_path):
+        _tiny_study().run(out_dir=tmp_path)
+        journal = StudyJournal.for_study(tmp_path, "e1")
+        events = journal.events()
+        assert [e["event"] for e in events] == \
+            ["study", "cell", "cell", "end"]
+        assert len(journal.done_keys()) == 2
+
+    def test_journal_tolerates_torn_last_line(self, tmp_path):
+        _tiny_study().run(out_dir=tmp_path)
+        journal = StudyJournal.for_study(tmp_path, "e1")
+        text = journal.path.read_text()
+        journal.path.write_text(text[:-9])  # SIGKILL mid-append
+        events = journal.events()
+        assert events[0]["event"] == "study"
+        assert len(journal.done_keys()) >= 1
+
+    def test_manifest_written_atomically(self, tmp_path):
+        result = _tiny_study().run(out_dir=tmp_path)
+        manifest = json.loads(
+            (tmp_path / "e1-study.manifest.json").read_text()
+        )
+        assert manifest["experiment"] == "e1"
+        assert manifest["quarantined"] == []
+        assert len(manifest["cells"]) == len(result.cells)
+        assert not list(tmp_path.glob("*.tmp.*"))
+
+    def test_half_written_study_dir_resumes(self, tmp_path):
+        """The SIGKILL aftermath, reconstructed file-by-file: one cell
+        archive missing, one torn, the journal torn mid-append — resume
+        re-runs exactly the incomplete cells and reproduces the
+        uninterrupted payloads."""
+        study = Study("e1", {"gamma": [1.5, 2.0, 3.0]}, trials=6,
+                      sizes=(16,), workloads=("balanced",), parallel=False)
+        pristine = study.run(out_dir=tmp_path / "pristine")
+        crash_dir = tmp_path / "crashed"
+        study.run(out_dir=crash_dir)
+        cells = sorted(
+            p for p in crash_dir.glob("e1-*.json")
+            if "manifest" not in p.name
+        )
+        assert len(cells) == 3
+        cells[0].unlink()                                  # never written
+        cells[1].write_text(cells[1].read_text()[:30])     # torn
+        journal = StudyJournal.for_study(crash_dir, "e1")
+        journal.path.write_text(journal.path.read_text()[:-5])
+        resumed = study.run(out_dir=crash_dir)
+        assert sum(c.cached for c in resumed.cells) == 1
+        assert len(resumed.quarantined) == 1
+        payloads = lambda sr: [c.result.payload_json() for c in sr.cells]
+        assert payloads(pristine) == payloads(resumed)
+
+    def test_study_jobs2_under_chaos_matches_clean_jobs1(self, tmp_path):
+        study = Study("e10", {"trials": [4, 6]}, n=24,
+                      scenarios=("complete",), async_sizes=(16,),
+                      parallel=False)
+        clean = study.run(out_dir=tmp_path / "clean", jobs=1)
+        cfg = chaos.ChaosConfig(seed=16, kill_rate=0.6, delay_rate=0.3,
+                                delay_s=0.1, max_faulty_attempts=1)
+        with chaos.install(cfg), fault_policy(
+            FaultPolicy(backoff_base_s=0.01)
+        ):
+            faulted = study.run(out_dir=tmp_path / "chaos", jobs=2)
+        payloads = lambda sr: [c.result.payload_json() for c in sr.cells]
+        assert payloads(clean) == payloads(faulted)
+
+
+# ---------------------------------------------------------------------------
+# Process-level faults: real SIGKILL, real SIGINT
+# ---------------------------------------------------------------------------
+
+_SIGKILL_CHILD = textwrap.dedent("""
+    import sys
+    from repro.study import Study
+    Study("e1", {"gamma": [1.5, 2.0, 3.0, 4.0]}, trials=6, sizes=(16,),
+          workloads=("balanced",), parallel=False).run(out_dir=sys.argv[1])
+    print("STUDY-COMPLETE", flush=True)
+""")
+
+_SIGINT_CHILD = textwrap.dedent("""
+    from repro.exec import chaos, fault_policy, FaultPolicy
+    from repro.experiments.dispatch import run_trials_fast
+    from repro.experiments.workloads import balanced
+    print("CHILD-READY", flush=True)
+    cfg = chaos.ChaosConfig(seed=1, delay_rate=1.0, delay_s=30.0,
+                            max_faulty_attempts=99)
+    try:
+        with chaos.install(cfg):
+            run_trials_fast(balanced(24), range(10),
+                            engine="batch-parity", jobs=2)
+    except KeyboardInterrupt:
+        print("INTERRUPTED-CLEANLY", flush=True)
+        raise SystemExit(130)
+""")
+
+
+def _child_env() -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_CHAOS", None)
+    return env
+
+
+class TestProcessLevelFaults:
+    def test_sigkilled_study_resumes_from_journal(self, tmp_path):
+        """Kill -9 a running study, then resume: only incomplete cells
+        re-run, and the archive matches an uninterrupted run."""
+        out = tmp_path / "killed"
+        proc = subprocess.Popen(
+            [sys.executable, "-c", _SIGKILL_CHILD, str(out)],
+            env=_child_env(), stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL, text=True,
+        )
+        journal_path = StudyJournal.for_study(out, "e1").path
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if journal_path.is_file() and \
+                    len(StudyJournal(journal_path).done_keys()) >= 1:
+                break
+            if proc.poll() is not None:
+                break
+            time.sleep(0.02)
+        proc.kill()  # SIGKILL — no cleanup handlers run
+        proc.wait(timeout=60)
+        study = Study("e1", {"gamma": [1.5, 2.0, 3.0, 4.0]}, trials=6,
+                      sizes=(16,), workloads=("balanced",), parallel=False)
+        resumed = study.run(out_dir=out)
+        pristine = study.run(out_dir=tmp_path / "pristine")
+        payloads = lambda sr: [c.result.payload_json() for c in sr.cells]
+        assert payloads(resumed) == payloads(pristine)
+        # The journal survived the kill readable up to the crash point
+        # and now records the completed resume.
+        assert StudyJournal.for_study(out, "e1").events()[-1]["event"] == \
+            "end"
+
+    @pytest.mark.slow
+    def test_keyboard_interrupt_cancels_in_flight_shards(self):
+        """SIGINT during a parallel run with hung (chaos-delayed)
+        workers must terminate promptly — in-flight shards are killed,
+        not waited out for 30s."""
+        proc = subprocess.Popen(
+            [sys.executable, "-c", _SIGINT_CHILD],
+            env=_child_env(), stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL, text=True,
+        )
+        assert proc.stdout is not None
+        assert proc.stdout.readline().strip() == "CHILD-READY"
+        time.sleep(2.0)  # let the pool spawn and shards start hanging
+        proc.send_signal(signal.SIGINT)
+        try:
+            out, _ = proc.communicate(timeout=20)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            pytest.fail("KeyboardInterrupt did not cancel hung shards")
+        assert "INTERRUPTED-CLEANLY" in out
+        assert proc.returncode == 130
+
+
+# ---------------------------------------------------------------------------
+# CLI: the fault-policy flags
+# ---------------------------------------------------------------------------
+
+class TestCliFaultFlags:
+    def test_flags_accepted(self, capsys):
+        rc = cli_main([
+            "experiment", "e1", "--trials", "4", "--set", "sizes=16",
+            "--set", "workloads=balanced", "--serial",
+            "--shard-timeout", "30", "--max-retries", "1",
+            "--format", "json",
+        ])
+        assert rc == 0
+        from repro.exec.backends import get_fault_policy
+
+        assert get_fault_policy().shard_timeout_s == 30.0
+        assert get_fault_policy().max_retries == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["experiment"] == "e1"
+
+    def test_invalid_flags_exit_2(self, capsys):
+        assert cli_main([
+            "experiment", "e1", "--shard-timeout", "-5",
+        ]) == 2
+        assert "shard_timeout_s" in capsys.readouterr().err
+        assert cli_main([
+            "experiment", "e1", "--max-retries", "-1",
+        ]) == 2
+        assert "max_retries" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# The heavy end-to-end chaos sweep (CI chaos job: REPRO_CHAOS=1)
+# ---------------------------------------------------------------------------
+
+@needs_chaos_env
+class TestChaosSweep:
+    """The acceptance run: e1 and e10 under the env-described chaos
+    schedule (kills + delays + torn writes) are payload-identical to
+    unfaulted ``jobs=1`` runs."""
+
+    @pytest.mark.parametrize("name,opts", [
+        ("e1", dict(sizes=(16,), workloads=("balanced", "skewed"),
+                    trials=10, engine="batch-parity", parallel=False)),
+        ("e10", dict(n=24, trials=6, scenarios=("complete", "star"),
+                     async_sizes=(16, 32), parallel=False)),
+    ])
+    def test_experiment_payloads_survive_chaos(self, name, opts):
+        cfg = chaos.ChaosConfig.from_env()
+        assert cfg is not None
+        clean = run_experiment(name, jobs=1, **opts)
+        with chaos.install(cfg), fault_policy(
+            FaultPolicy(shard_timeout_s=5.0, backoff_base_s=0.01)
+        ):
+            faulted = run_experiment(name, jobs=2, **opts)
+        assert faulted.payload_json() == clean.payload_json()
+
+    def test_multi_seed_chaos_storm(self, tmp_path):
+        study = Study("e10", {"trials": [4, 6]}, n=24,
+                      scenarios=("complete",), async_sizes=(16,),
+                      parallel=False)
+        clean = study.run(out_dir=tmp_path / "clean", jobs=1)
+        payloads = lambda sr: [c.result.payload_json() for c in sr.cells]
+        for seed in (21, 22, 23):
+            cfg = chaos.ChaosConfig(seed=seed, kill_rate=0.5,
+                                    delay_rate=0.5, delay_s=0.2,
+                                    truncate_rate=0.5,
+                                    max_faulty_attempts=2)
+            out = tmp_path / f"storm-{seed}"
+            with chaos.install(cfg), fault_policy(
+                FaultPolicy(shard_timeout_s=5.0, max_retries=3,
+                            backoff_base_s=0.01)
+            ):
+                stormed = study.run(out_dir=out, jobs=2)
+            assert payloads(stormed) == payloads(clean), seed
+            # Resume heals any archives the chaos tore.
+            healed = study.run(out_dir=out, jobs=1)
+            assert payloads(healed) == payloads(clean), seed

@@ -213,7 +213,10 @@ class TestStudy:
                       seed=5)
         first = study.run(out_dir=tmp_path)
         assert [c.cached for c in first.cells] == [False, False]
-        assert len(list(tmp_path.glob("e1-*.json"))) == 2
+        archives = [p for p in tmp_path.glob("e1-*.json")
+                    if "study" not in p.name]
+        assert len(archives) == 2
+        assert (tmp_path / "e1-study.manifest.json").is_file()
 
         second = study.run(out_dir=tmp_path)
         assert [c.cached for c in second.cells] == [True, True]
@@ -226,7 +229,8 @@ class TestStudy:
         study.run(out_dir=tmp_path)
         # Forge a version bump in the saved cell: the content-hash key
         # still matches, but the version gate must force a recompute.
-        path = next(tmp_path.glob("e1-*.json"))
+        path = next(p for p in tmp_path.glob("e1-*.json")
+                    if "study" not in p.name)
         doc = json.loads(path.read_text())
         doc["meta"]["version"] = "0.0.0"
         path.write_text(json.dumps(doc))
