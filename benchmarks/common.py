@@ -147,11 +147,20 @@ def best_of(repeats: int, fn: Callable[[], Any]) -> float:
 
 
 def machine_info() -> dict[str, Any]:
-    """The machine stanza every perf JSON carries."""
+    """The machine stanza every perf JSON carries.
+
+    ``cpus`` is the machine's core count; ``effective_cpus`` the CPUs
+    this process may actually run on (the affinity mask — smaller under
+    cgroup cpusets and ``taskset``).  Speedup claims must be judged
+    against the latter.
+    """
+    from repro.exec.pool import available_cpus
+
     return {
         "platform": platform.platform(),
         "python": platform.python_version(),
         "cpus": os.cpu_count(),
+        "effective_cpus": available_cpus(),
     }
 
 

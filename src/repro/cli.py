@@ -43,7 +43,12 @@ from typing import Any, Sequence
 
 from repro.agents.plans import STRATEGY_NAMES, plan
 from repro.core.protocol import ProtocolConfig, run_protocol
-from repro.exec.backends import get_fault_policy, set_fault_policy
+from repro.exec.backends import (
+    get_fault_policy,
+    parse_max_retries,
+    parse_shard_timeout,
+    set_fault_policy,
+)
 from repro.experiments import workloads
 from repro.experiments.registry import (
     ExperimentSpec,
@@ -99,13 +104,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "backend (same as --set jobs=N); the batched "
                             "tiers shard trial blocks across N workers, "
                             "byte-identically to a serial run")
-    exp_p.add_argument("--shard-timeout", type=float, default=None,
+    exp_p.add_argument("--shard-timeout", default=None,
                        metavar="SECONDS",
                        help="wall-time budget per trial shard on the "
                             "parallel backend; a shard past it is "
                             "retried on a respawned pool (default: "
                             "no timeout)")
-    exp_p.add_argument("--max-retries", type=int, default=None, metavar="N",
+    exp_p.add_argument("--max-retries", default=None, metavar="N",
                        help="failed-shard retries before the shard "
                             "degrades to a serial in-process re-run "
                             "(byte-identical, default: 2)")
@@ -287,12 +292,22 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     names = experiment_names() if args.name == "all" else [args.name]
     sweep = args.name == "all"
     if args.shard_timeout is not None or args.max_retries is not None:
+        # Flags arrive as raw strings: the shared validators reject
+        # non-numeric, NaN and negative values with an error naming the
+        # flag and the accepted form (exit 2), instead of argparse's
+        # bare type error or a silently poisonous float("nan").
         policy_fields: dict[str, Any] = {}
-        if args.shard_timeout is not None:
-            policy_fields["shard_timeout_s"] = args.shard_timeout
-        if args.max_retries is not None:
-            policy_fields["max_retries"] = args.max_retries
         try:
+            if args.shard_timeout is not None:
+                policy_fields["shard_timeout_s"] = parse_shard_timeout(
+                    str(args.shard_timeout), "--shard-timeout"
+                )
+            if args.max_retries is not None:
+                retries = parse_max_retries(
+                    str(args.max_retries), "--max-retries"
+                )
+                if retries is not None:
+                    policy_fields["max_retries"] = retries
             set_fault_policy(
                 dataclasses.replace(get_fault_policy(), **policy_fields)
             )

@@ -31,6 +31,8 @@ from repro.exec.backends import (
     collect_execution,
     fault_policy,
     get_fault_policy,
+    parse_max_retries,
+    parse_shard_timeout,
     resolve_backend,
     run_plan,
     set_fault_policy,
@@ -46,9 +48,16 @@ from repro.exec.plan import (
     compile_graph_plan,
     compile_honest_plan,
     resolve_engine,
+    shard_size_hint,
 )
-from repro.exec.pool import default_workers, run_trials
-from repro.exec.reducers import ShardReducer, merge_shards
+from repro.exec.pool import (
+    available_cpus,
+    default_workers,
+    mp_context,
+    run_trials,
+)
+from repro.exec.reducers import ShardReducer, merge_shards, merge_stubs
+from repro.exec.shm import shm_enabled
 
 __all__ = [
     "AUTO_ENGINE",
@@ -61,6 +70,7 @@ __all__ = [
     "FaultPolicy",
     "ShardChaos",
     "ShardReducer",
+    "available_cpus",
     "chaos_enabled",
     "collect_execution",
     "fault_policy",
@@ -71,9 +81,15 @@ __all__ = [
     "default_workers",
     "get_fault_policy",
     "merge_shards",
+    "merge_stubs",
+    "mp_context",
+    "parse_max_retries",
+    "parse_shard_timeout",
     "resolve_backend",
     "resolve_engine",
     "run_plan",
     "run_trials",
     "set_fault_policy",
+    "shard_size_hint",
+    "shm_enabled",
 ]

@@ -52,8 +52,10 @@ this stays tested.
 
 from __future__ import annotations
 
+import atexit
 import math
 import os
+import pickle
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -70,11 +72,12 @@ import numpy as np
 
 from repro.agents.plans import plan as make_plan
 from repro.exec import chaos
+from repro.exec import shm as shm_transport
 from repro.core.defenses import Defenses
 from repro.core.protocol import ProtocolConfig, run_protocol
-from repro.exec.plan import BATCH_ENGINES, ExecutionPlan
-from repro.exec.pool import default_workers, run_trials
-from repro.exec.reducers import merge_shards
+from repro.exec.plan import BATCH_ENGINES, ExecutionPlan, shard_size_hint
+from repro.exec.pool import default_workers, mp_context, run_trials
+from repro.exec.reducers import merge_shards, merge_stubs
 from repro.extensions.async_gossip import (
     AsyncBatchResult,
     async_min_ticks,
@@ -103,6 +106,8 @@ __all__ = [
     "collect_execution",
     "fault_policy",
     "get_fault_policy",
+    "parse_max_retries",
+    "parse_shard_timeout",
     "resolve_backend",
     "run_plan",
     "set_fault_policy",
@@ -110,8 +115,10 @@ __all__ = [
 
 BACKENDS = ("auto", "serial", "parallel")
 
-#: Target shards per worker: a little oversharding smooths out uneven
-#: shard costs without multiplying the per-shard pickling overhead.
+#: Target shards per worker when no measured shard-size hint exists
+#: for the plan's engine (``repro.exec.plan.shard_size_hint``): a
+#: little oversharding smooths out uneven shard costs without
+#: multiplying the per-shard dispatch overhead.
 _SHARDS_PER_JOB = 2
 
 
@@ -129,6 +136,14 @@ class ExecRecord:
     timeout), ``degraded_shards`` the shards that exhausted their
     retry budget and re-ran serially in-process, ``recovery_wall_s``
     the wall time spent on backoff, pool respawns and serial re-runs.
+
+    ``jobs`` is what was *requested*; ``workers`` is the pool size
+    that actually ran (capped by the shard count, 1 on the serial
+    path) — benchmarks must archive the latter, or a 4-job run on a
+    1-CPU box reads as a parallel measurement.  ``transport`` names
+    the shard-result channel: ``shm`` (zero-copy shared memory),
+    ``pickle`` (the fallback), or ``inline`` (no shard ever left the
+    process).
     """
 
     kind: str
@@ -142,6 +157,8 @@ class ExecRecord:
     shard_failures: int = 0
     degraded_shards: int = 0
     recovery_wall_s: float = 0.0
+    workers: int = 1
+    transport: str = "inline"
 
 
 _collectors: list[list[ExecRecord]] = []
@@ -195,7 +212,9 @@ class FaultPolicy:
     backoff_factor: float = 2.0
 
     def __post_init__(self) -> None:
-        if self.shard_timeout_s is not None and self.shard_timeout_s <= 0:
+        if self.shard_timeout_s is not None and (
+            math.isnan(self.shard_timeout_s) or self.shard_timeout_s <= 0
+        ):
             raise ValueError(
                 f"shard_timeout_s must be > 0 or None, got "
                 f"{self.shard_timeout_s}"
@@ -228,24 +247,87 @@ def set_fault_policy(policy: FaultPolicy | None) -> None:
     _policy_override = policy
 
 
+def parse_shard_timeout(raw: str, source: str) -> float | None:
+    """Parse a shard-timeout value from ``source`` (an env var or CLI
+    flag name, used verbatim in the error).
+
+    Accepts a positive number of seconds (``12.5``); an empty string
+    means "unset" (``None``).  Rejects non-numeric text, NaN, zero and
+    negatives — ``float("nan")`` would silently disable every deadline
+    comparison, which is how a typo'd knob used to turn the timeout
+    machinery off without a word.
+    """
+    text = raw.strip()
+    if not text:
+        return None
+    try:
+        value = float(text)
+    except ValueError:
+        raise ValueError(
+            f"{source} must be a positive number of seconds "
+            f"(shard_timeout_s), got {raw!r}"
+        ) from None
+    if math.isnan(value) or value <= 0:
+        raise ValueError(
+            f"{source} must be a positive number of seconds "
+            f"(shard_timeout_s), got {raw!r}"
+        )
+    return value
+
+
+def parse_max_retries(raw: str, source: str) -> int | None:
+    """Parse a retry budget from ``source`` (env var or CLI flag name).
+
+    Accepts a non-negative integer (``0`` disables retries but keeps
+    serial degradation); an empty string means "unset" (``None``).
+    Rejects non-integer text (``two``, ``1.5``) and negatives.
+    """
+    text = raw.strip()
+    if not text:
+        return None
+    try:
+        value = int(text)
+    except ValueError:
+        raise ValueError(
+            f"{source} must be a non-negative integer (max_retries), "
+            f"got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(
+            f"{source} must be a non-negative integer (max_retries), "
+            f"got {raw!r}"
+        )
+    return value
+
+
 def get_fault_policy() -> FaultPolicy:
     """The active fault policy.
 
     Priority: :func:`set_fault_policy` override, then the
     ``REPRO_SHARD_TIMEOUT`` / ``REPRO_MAX_RETRIES`` environment knobs,
-    then the defaults (no timeout, 2 retries).
+    then the defaults (no timeout, 2 retries).  Malformed knobs raise
+    ``ValueError`` naming the variable and the accepted form — never a
+    bare ``float()``/``int()`` traceback, and never a silently
+    accepted NaN or negative.
     """
     if _policy_override is not None:
         return _policy_override
-    timeout = os.environ.get("REPRO_SHARD_TIMEOUT")
-    retries = os.environ.get("REPRO_MAX_RETRIES")
-    if timeout is None and retries is None:
+    timeout_raw = os.environ.get("REPRO_SHARD_TIMEOUT")
+    retries_raw = os.environ.get("REPRO_MAX_RETRIES")
+    if timeout_raw is None and retries_raw is None:
         return _DEFAULT_POLICY
+    timeout = (
+        parse_shard_timeout(timeout_raw, "REPRO_SHARD_TIMEOUT")
+        if timeout_raw is not None else None
+    )
+    retries = (
+        parse_max_retries(retries_raw, "REPRO_MAX_RETRIES")
+        if retries_raw is not None else None
+    )
     return FaultPolicy(
-        shard_timeout_s=float(timeout) if timeout else None,
+        shard_timeout_s=timeout,
         max_retries=(
-            int(retries) if retries is not None
-            else _DEFAULT_POLICY.max_retries
+            retries if retries is not None else _DEFAULT_POLICY.max_retries
         ),
     )
 
@@ -318,6 +400,8 @@ def run_plan(
     policy = policy if policy is not None else get_fault_policy()
     start = time.perf_counter()
     shards = 1
+    workers = 1
+    transport = "inline"
     recovery = _Recovery()
     if (
         backend == "parallel"
@@ -325,8 +409,10 @@ def run_plan(
         and plan.engine in BATCH_ENGINES
         and plan.n_trials > plan.shard_quantum
     ):
-        result, shards, recovery = _run_parallel(plan, jobs, policy)
-        ran = "parallel"
+        result, shards, recovery, workers, transport = _run_parallel(
+            plan, jobs, policy
+        )
+        ran = "parallel" if shards > 1 else "serial"
     else:
         if plan.engine == "process" and max_workers is None and jobs > 1:
             max_workers = jobs
@@ -340,6 +426,8 @@ def run_plan(
         shard_failures=recovery.failures,
         degraded_shards=recovery.degraded,
         recovery_wall_s=recovery.wall_s,
+        workers=workers,
+        transport=transport,
     ))
     return result
 
@@ -349,38 +437,216 @@ def run_plan(
 # ---------------------------------------------------------------------------
 
 def shard_bounds(
-    n_trials: int, quantum: int, jobs: int
+    n_trials: int, quantum: int, jobs: int,
+    size: int | None = None,
 ) -> list[tuple[int, int]]:
     """Contiguous ``[lo, hi)`` trial shards, every ``lo`` on a quantum
     multiple.
 
-    The shard size is the smallest quantum multiple that keeps the
-    shard count near ``jobs * _SHARDS_PER_JOB``; only the last shard
-    may be shorter.  Any quantum-aligned cut yields the same merged
-    result, so the layout is free to chase load balance.
+    ``size`` is the tuned shard size from
+    :func:`repro.exec.plan.shard_size_hint` (already a quantum
+    multiple); without one, the shard size falls back to the smallest
+    quantum multiple that keeps the shard count near
+    ``jobs * _SHARDS_PER_JOB``.  Only the last shard may be shorter.
+    Any quantum-aligned cut yields the same merged result, so the
+    layout is free to chase load balance.
     """
     if n_trials <= 0:
         return []
-    target = max(1, math.ceil(n_trials / (jobs * _SHARDS_PER_JOB)))
-    size = quantum * math.ceil(target / quantum)
+    if size is None:
+        target = max(1, math.ceil(n_trials / (jobs * _SHARDS_PER_JOB)))
+        size = quantum * math.ceil(target / quantum)
     return [
         (lo, min(lo + size, n_trials)) for lo in range(0, n_trials, size)
     ]
 
 
+# ---------------------------------------------------------------------------
+# Shard-result transports: how a shard's output reaches the parent
+# ---------------------------------------------------------------------------
+
+#: The batch-result class each workload kind's batched tiers produce —
+#: what the shared-memory transport sizes its result segment from.
+_RESULT_TYPES: dict[str, type] = {
+    "honest": FastBatchResult,
+    "deviation": StrategyBatchResult,
+    "graph": GraphBatchResult,
+    "async": AsyncBatchResult,
+}
+
+
+class _PickleTransport:
+    """The legacy channel: shard results pickle through the pool pipe.
+
+    Kept as the ``REPRO_SHM=0`` escape hatch, the fallback when a
+    result type lacks the out-buffer protocol or shared memory cannot
+    be allocated, and the reference the zero-copy path is
+    byte-compared against in tests.
+    """
+
+    name = "pickle"
+
+    def __init__(self, bounds: list[tuple[int, int]],
+                 shard_plans: list[ExecutionPlan]) -> None:
+        self._shard_plans = shard_plans
+        self._results: dict[int, Any] = {}
+
+    def task(self, idx: int,
+             spec: "chaos.ShardChaos | None") -> tuple[Any, Any]:
+        return _compute_shard, (self._shard_plans[idx], spec)
+
+    def absorb(self, idx: int, value: Any) -> None:
+        self._results[idx] = value
+
+    def degrade(self, idx: int) -> None:
+        self._results[idx] = _compute(self._shard_plans[idx], parallel=False)
+
+    def finish(self, n_shards: int) -> Any:
+        return merge_shards(self._results[i] for i in range(n_shards))
+
+    def close(self) -> None:
+        pass
+
+
+class _ShmTransport:
+    """The zero-copy channel (DESIGN.md §9).
+
+    The parent allocates one result segment sized for the *merged*
+    result and one control segment holding the layout plus every
+    shard's pickled sub-plan; workers attach by name, write their
+    ``[lo, hi)`` slice of each array in place and return only a scalar
+    stub.  ``finish`` merges the stubs and builds the result over
+    full-length views of the segment — the arrays are never copied or
+    concatenated — then unlinks both segments (the parent's mapping
+    outlives the unlink).  ``close`` is idempotent and called on every
+    exit path, so no code path can leak a ``/dev/shm`` entry past the
+    run.
+    """
+
+    name = "shm"
+
+    def __init__(self, plan: ExecutionPlan, bounds: list[tuple[int, int]],
+                 shard_plans: list[ExecutionPlan], cls: type) -> None:
+        self._cls = cls
+        self._bounds = bounds
+        self._shard_plans = shard_plans
+        self._layout = shm_transport.plan_layout(cls, plan.n_trials)
+        self._stubs: dict[int, dict[str, Any]] = {}
+        self._closed = False
+        self._data = shm_transport.OwnedSegment(self._layout.size)
+        try:
+            blob = shm_transport.pack_control(
+                self._layout, bounds,
+                [pickle.dumps(p, protocol=pickle.HIGHEST_PROTOCOL)
+                 for p in shard_plans],
+            )
+            self._ctrl = shm_transport.OwnedSegment(len(blob))
+            self._ctrl.write(blob)
+        except BaseException:
+            self._data.unlink()
+            raise
+        self._views = self._layout.views(self._data.shm)
+
+    def task(self, idx: int,
+             spec: "chaos.ShardChaos | None") -> tuple[Any, Any]:
+        return _compute_shard_shm, (
+            self._ctrl.name, self._data.name, idx, spec
+        )
+
+    def absorb(self, idx: int, value: Any) -> None:
+        self._stubs[idx] = value
+
+    def degrade(self, idx: int) -> None:
+        # The serial degradation path writes the shard's slice from the
+        # parent itself — same views, same bytes, no pool involved.
+        lo, hi = self._bounds[idx]
+        result = _compute(self._shard_plans[idx], parallel=False)
+        shm_transport.export_batch(result, self._views, lo, hi)
+        self._stubs[idx] = shm_transport.scalar_stub(result)
+
+    def finish(self, n_shards: int) -> Any:
+        stub = merge_stubs(
+            [self._stubs[i] for i in range(n_shards)], self._cls
+        )
+        result = shm_transport.build_batch(self._cls, stub, self._views)
+        # The merged arrays are views over the data segment: retain the
+        # mapping for the life of the process *before* unlinking, so the
+        # segment object can never be finalised under the arrays.
+        shm_transport.retain(self._data)
+        self.close()
+        return result
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._ctrl.unlink()
+            self._data.unlink()
+
+
+def _make_transport(
+    plan: ExecutionPlan, bounds: list[tuple[int, int]],
+    shard_plans: list[ExecutionPlan],
+) -> "_ShmTransport | _PickleTransport":
+    cls = _RESULT_TYPES.get(plan.kind)
+    if (
+        shm_transport.shm_enabled()
+        and cls is not None
+        and shm_transport.supports_buffers(cls)
+    ):
+        try:
+            return _ShmTransport(plan, bounds, shard_plans, cls)
+        except OSError:
+            pass  # no usable shared memory on this box: pickle instead
+    return _PickleTransport(bounds, shard_plans)
+
+
 def _compute_shard(
     args: tuple[ExecutionPlan, "chaos.ShardChaos | None"]
 ) -> Any:
-    """Pool worker: run one shard's sub-plan serially.
+    """Pool worker (pickle transport): run one shard's sub-plan serially.
 
     The second element is the shard's injected fault plan (``None``
     outside chaos runs), applied before the computation so recovery
-    paths are exercised by deterministic schedules.
+    paths are exercised by deterministic schedules.  ``kill_mid_write``
+    has no in-place write to tear here; it degrades to dying after the
+    compute, before the result can be returned.
     """
     shard_plan, spec = args
     if spec is not None:
         spec.apply()
-    return _compute(shard_plan, parallel=False)
+    result = _compute(shard_plan, parallel=False)
+    if spec is not None and spec.kill_mid_write:
+        spec.die()
+    return result
+
+
+def _compute_shard_shm(
+    args: tuple[str, str, int, "chaos.ShardChaos | None"]
+) -> dict[str, Any]:
+    """Pool worker (shm transport): compute a shard and write it in place.
+
+    The task travels as two segment names plus a shard index: the
+    worker reads its sub-plan out of the control segment (pickled once
+    by the parent, re-read on every retry), computes it, writes every
+    result array's ``[lo, hi)`` slice into the data segment and returns
+    only the scalar stub.  Segment attachments are cached per worker
+    process and deregistered from the worker's resource tracker — the
+    parent alone owns cleanup.
+    """
+    ctrl_name, data_name, shard_index, spec = args
+    ctrl = shm_transport.attached("ctrl", ctrl_name)
+    header = shm_transport.read_control_header(ctrl.buf)
+    shard_plan = shm_transport.read_control_plan(
+        ctrl.buf, header, shard_index
+    )
+    if spec is not None:
+        spec.apply()
+    result = _compute(shard_plan, parallel=False)
+    data = shm_transport.attached("data", data_name)
+    views = header["layout"].views(data)
+    lo, hi = header["bounds"][shard_index]
+    shm_transport.export_batch(result, views, lo, hi, fault=spec)
+    return shm_transport.scalar_stub(result)
 
 
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
@@ -397,9 +663,63 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
         pass
 
 
+# ---------------------------------------------------------------------------
+# Warm pool: one forkserver-backed pool reused across plan executions
+# ---------------------------------------------------------------------------
+#
+# Pool start-up used to be paid per run_plan call (and the old fork
+# context re-imported nothing but re-initialised everything).  With the
+# forkserver context (numpy preloaded, see repro.exec.pool.mp_context)
+# the first pool is the only expensive one — after a healthy run the
+# pool parks here and the next run of the same width reuses its warm
+# workers.  Faulted runs never park a pool: breakage or a hung worker
+# always replaces it with a fresh one mid-run, and the replacement only
+# parks after it finishes a run cleanly.
+
+_warm_pool: ProcessPoolExecutor | None = None
+_warm_workers = 0
+
+
+def _new_pool(workers: int) -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(max_workers=workers, mp_context=mp_context())
+
+
+def _acquire_pool(workers: int) -> ProcessPoolExecutor:
+    global _warm_pool, _warm_workers
+    pool, width = _warm_pool, _warm_workers
+    _warm_pool = None
+    if pool is not None:
+        if width == workers and not getattr(pool, "_broken", False):
+            return pool
+        _kill_pool(pool)
+    return _new_pool(workers)
+
+
+def _release_pool(pool: ProcessPoolExecutor, workers: int) -> None:
+    global _warm_pool, _warm_workers
+    if getattr(pool, "_broken", False):
+        _kill_pool(pool)
+        return
+    if _warm_pool is not None:  # another pool parked meanwhile
+        pool.shutdown(wait=False, cancel_futures=True)
+        return
+    _warm_pool, _warm_workers = pool, workers
+
+
+def _shutdown_warm_pool() -> None:
+    """Drop the parked pool (atexit, and the tests' reset hook)."""
+    global _warm_pool
+    pool, _warm_pool = _warm_pool, None
+    if pool is not None:
+        _kill_pool(pool)
+
+
+atexit.register(_shutdown_warm_pool)
+
+
 def _run_parallel(
     plan: ExecutionPlan, jobs: int, policy: FaultPolicy
-) -> tuple[Any, int, _Recovery]:
+) -> tuple[Any, int, _Recovery, int, str]:
     """The fault-tolerant sharded backend.
 
     Shards are submitted in rounds: each round fans the remaining
@@ -411,21 +731,27 @@ def _run_parallel(
     ``policy.max_retries`` times re-runs serially in this process —
     the trusted degradation path, byte-identical because shard seeds
     are deterministic slices of the plan's spine.
+
+    Shard results travel on a transport: zero-copy shared memory where
+    the result type supports it (``_ShmTransport``), pickling
+    otherwise.  The transport is closed — shared memory unlinked — on
+    every exit path, faulted ones included.
     """
-    bounds = shard_bounds(plan.n_trials, plan.shard_quantum, jobs)
+    size = shard_size_hint(plan, jobs)
+    bounds = shard_bounds(plan.n_trials, plan.shard_quantum, jobs, size=size)
     recovery = _Recovery()
     if len(bounds) <= 1:
-        return _compute(plan, parallel=False), 1, recovery
+        return _compute(plan, parallel=False), 1, recovery, 1, "inline"
     shard_plans = [plan.slice(lo, hi) for lo, hi in bounds]
     n_shards = len(bounds)
     workers = min(jobs, n_shards)
+    transport = _make_transport(plan, bounds, shard_plans)
     cfg = chaos.active_config()
-    results: dict[int, Any] = {}
     submissions = [0] * n_shards      # chaos attempt index per shard
     failures = [0] * n_shards
     remaining = set(range(n_shards))
     round_no = 0
-    pool = ProcessPoolExecutor(max_workers=workers)
+    pool = _acquire_pool(workers)
     try:
         while remaining:
             for idx in sorted(remaining):
@@ -434,7 +760,7 @@ def _run_parallel(
                     # (never through chaos or the pool), so the study
                     # completes with identical bytes.
                     t0 = time.perf_counter()
-                    results[idx] = _compute(shard_plans[idx], parallel=False)
+                    transport.degrade(idx)
                     recovery.degraded += 1
                     recovery.wall_s += time.perf_counter() - t0
                     remaining.discard(idx)
@@ -446,24 +772,27 @@ def _run_parallel(
                 recovery.wall_s += pause
             round_no += 1
             pool = _run_round(
-                pool, shard_plans, remaining, results, submissions,
+                pool, transport, remaining, submissions,
                 failures, policy, cfg, recovery, workers,
             )
+        merged = transport.finish(n_shards)
     except BaseException:
         # KeyboardInterrupt (and anything else unrecoverable): cancel
         # queued shards and kill in-flight workers before propagating.
         _kill_pool(pool)
         raise
-    pool.shutdown(wait=False, cancel_futures=True)
-    merged = merge_shards(results[i] for i in range(n_shards))
-    return merged, n_shards, recovery
+    finally:
+        # Idempotent: the success path already closed via finish();
+        # every other path unlinks the shared memory right here.
+        transport.close()
+    _release_pool(pool, workers)
+    return merged, n_shards, recovery, workers, transport.name
 
 
 def _run_round(
     pool: ProcessPoolExecutor,
-    shard_plans: list[ExecutionPlan],
+    transport: "_ShmTransport | _PickleTransport",
     remaining: set[int],
-    results: dict[int, Any],
     submissions: list[int],
     failures: list[int],
     policy: FaultPolicy,
@@ -481,13 +810,15 @@ def _run_round(
     pending: dict[Future, int] = {}
     deadlines: dict[int, float] = {}
     broke = False
+    timed_out = False
     try:
         for idx in sorted(remaining):
             spec = cfg.shard_chaos(idx, submissions[idx]) if cfg else None
             if submissions[idx] > 0:
                 recovery.retries += 1
             submissions[idx] += 1
-            future = pool.submit(_compute_shard, (shard_plans[idx], spec))
+            fn, args = transport.task(idx, spec)
+            future = pool.submit(fn, args)
             pending[future] = idx
             if policy.shard_timeout_s is not None:
                 deadlines[idx] = time.monotonic() + policy.shard_timeout_s
@@ -503,7 +834,7 @@ def _run_round(
             idx = pending.pop(future)
             deadlines.pop(idx, None)
             try:
-                results[idx] = future.result()
+                value = future.result()
             except BrokenProcessPool:
                 failures[idx] += 1
                 recovery.failures += 1
@@ -514,6 +845,7 @@ def _run_round(
                 failures[idx] += 1
                 recovery.failures += 1
             else:
+                transport.absorb(idx, value)
                 remaining.discard(idx)
         now = time.monotonic()
         expired = [i for i, dl in deadlines.items() if dl <= now]
@@ -522,10 +854,31 @@ def _run_round(
                 failures[idx] += 1
                 recovery.failures += 1
             broke = True
+            timed_out = True
+    if pending and broke:
+        # A break abandons the round's in-flight futures, but the
+        # executor has already failed the ones it accepted — and a
+        # *submit-time* break (a warm pool's worker dying before the
+        # round finished fanning out) can exit the drain loop above
+        # without running it once.  Sweep what completes so those
+        # failure events are counted, not silently dropped; after a
+        # shard timeout the stragglers belong to hung workers, so only
+        # already-done futures are taken.
+        done, _ = wait(pending, timeout=0.0 if timed_out else 1.0)
+        for future in done:
+            idx = pending.pop(future)
+            try:
+                value = future.result()
+            except Exception:
+                failures[idx] += 1
+                recovery.failures += 1
+            else:
+                transport.absorb(idx, value)
+                remaining.discard(idx)
     if broke:
         t0 = time.perf_counter()
         _kill_pool(pool)
-        pool = ProcessPoolExecutor(max_workers=workers)
+        pool = _new_pool(workers)
         recovery.wall_s += time.perf_counter() - t0
     return pool
 

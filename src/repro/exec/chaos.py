@@ -74,17 +74,32 @@ def chaos_enabled(environ: Mapping[str, str] | None = None) -> bool:
 
 @dataclass(frozen=True)
 class ShardChaos:
-    """The faults injected into one (shard, attempt) worker execution."""
+    """The faults injected into one (shard, attempt) worker execution.
+
+    ``kill`` dies *before* the shard computes; ``kill_mid_write`` lets
+    the shard compute and dies halfway through exporting its arrays
+    into the shared-memory result segment — the torn-slice case the
+    zero-copy transport must survive (the slice is rewritten whole on
+    retry, so a half-written shard can never reach the merged result).
+    On the pickling transport, where there is no in-place write to
+    tear, ``kill_mid_write`` degrades to dying after compute, before
+    the result is returned — the closest equivalent fault.
+    """
 
     kill: bool = False
     delay_s: float = 0.0
+    kill_mid_write: bool = False
 
     def apply(self) -> None:
         """Run inside the pool worker, before the shard computes."""
         if self.delay_s > 0.0:
             time.sleep(self.delay_s)
         if self.kill:
-            os._exit(KILL_EXIT_CODE)
+            self.die()
+
+    def die(self) -> None:
+        """Terminate the worker with the injected-fault exit status."""
+        os._exit(KILL_EXIT_CODE)
 
 
 @dataclass(frozen=True)
@@ -117,8 +132,13 @@ class ChaosConfig:
             return ShardChaos()
         kill = self._uniform("kill", shard, attempt) < self.kill_rate
         delay = self._uniform("delay", shard, attempt) < self.delay_rate
+        # Half the injected kills strike mid-write instead of pre-compute,
+        # so every chaos run exercises the torn-slice recovery path too.
+        mid = kill and self._uniform("mid", shard, attempt) < 0.5
         return ShardChaos(
-            kill=kill, delay_s=self.delay_s if delay else 0.0
+            kill=kill and not mid,
+            delay_s=self.delay_s if delay else 0.0,
+            kill_mid_write=mid,
         )
 
     def truncates(self, name: str) -> bool:

@@ -14,26 +14,96 @@ task per trial *shard*, :mod:`repro.exec.backends`).
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
-__all__ = ["run_trials", "default_workers"]
+__all__ = ["available_cpus", "default_workers", "mp_context", "run_trials"]
 
 T = TypeVar("T")
 A = TypeVar("A")
 
 
+def available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the machine, not the process: inside a
+    cgroup cpuset (containers, CI runners, ``taskset``) it happily
+    claims 64 cores while the scheduler grants 2 — and a pool sized to
+    the machine then timeslices itself into *negative* speedup while
+    benchmarks archive it as a parallel win.  ``sched_getaffinity``
+    reports the granted set; fall back to ``cpu_count`` only where the
+    call does not exist (macOS) or fails.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(1, len(getaffinity(0)))
+        except OSError:
+            pass
+    return os.cpu_count() or 1
+
+
 def default_workers() -> int:
     """Worker count: leave a couple of cores for the OS, cap at 16.
 
-    ``os.cpu_count()`` may return ``None`` (the platform cannot tell);
-    that means one worker, never a crash.
+    Sized from :func:`available_cpus` (the affinity mask), not the raw
+    machine core count — see there for why the distinction matters.
     """
-    cpus = os.cpu_count()
-    if cpus is None:
-        return 1
-    return max(1, min(16, cpus - 2))
+    return max(1, min(16, available_cpus() - 2))
+
+
+_mp_context: multiprocessing.context.BaseContext | None = None
+
+
+def _main_reimportable() -> bool:
+    """Can worker processes re-import ``__main__``?
+
+    ``forkserver`` (like ``spawn``) replays the main module in every
+    worker.  That works for ``python -m ...`` and for scripts that
+    exist on disk, but a ``python - <<EOF`` heredoc or an embedded
+    interpreter leaves ``__main__.__file__`` pointing at ``<stdin>`` —
+    workers would die on import before running a single task.
+    Interactive sessions (no ``__file__`` at all) are fine:
+    multiprocessing skips main-module replay for them.
+    """
+    import sys
+
+    main = sys.modules.get("__main__")
+    if main is None:
+        return True
+    if getattr(main, "__spec__", None) is not None:
+        return True  # python -m: re-imported by module name
+    path = getattr(main, "__file__", None)
+    if path is None:
+        return True  # interactive: no main replay attempted
+    return os.path.exists(path)
+
+
+def mp_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing context every repro pool is built from.
+
+    Prefers ``forkserver`` with :mod:`numpy` (and the backend module's
+    worker functions) preloaded: workers then inherit a warm
+    interpreter from one long-lived server instead of re-importing
+    numpy per spawned process, and — unlike plain ``fork`` — never
+    inherit the parent's thread/lock state mid-flight.  Falls back to
+    ``fork`` where the main module cannot be replayed (heredoc
+    scripts), and to the platform default where neither exists.
+    """
+    global _mp_context
+    if _mp_context is None:
+        methods = multiprocessing.get_all_start_methods()
+        if "forkserver" in methods and _main_reimportable():
+            ctx = multiprocessing.get_context("forkserver")
+            ctx.set_forkserver_preload(["numpy", "repro.exec.backends"])
+        elif "fork" in methods:
+            ctx = multiprocessing.get_context("fork")
+        else:
+            ctx = multiprocessing.get_context()
+        _mp_context = ctx
+    return _mp_context
 
 
 def run_trials(
@@ -64,5 +134,5 @@ def run_trials(
         return [worker(a) for a in args]
     if chunksize is None:
         chunksize = max(1, len(args) // (workers * 4))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    with ProcessPoolExecutor(max_workers=workers, mp_context=mp_context()) as pool:
         return list(pool.map(worker, args, chunksize=chunksize))

@@ -23,11 +23,11 @@ the reducer's peak is ~2x the merged result — O(B) at any trial count.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Iterable, TypeVar
+from typing import Any, Iterable, Mapping, TypeVar
 
 import numpy as np
 
-__all__ = ["ShardReducer", "merge_shards"]
+__all__ = ["ShardReducer", "merge_shards", "merge_stubs"]
 
 R = TypeVar("R")
 
@@ -85,6 +85,37 @@ class ShardReducer:
         if len(self._shards) == 1:
             return self._shards[0]
         return _merge_results(self._shards)
+
+
+def merge_stubs(
+    stubs: list[Mapping[str, Any]], cls: type
+) -> dict[str, Any]:
+    """Merge per-shard *scalar stubs* — the zero-copy reducer path.
+
+    On the shared-memory transport a shard's arrays never travel back
+    through the pool pipe: workers write them into the result segment
+    in place, and only the non-array fields (``n``, ``colors``,
+    ``rounds``, ...) return as a nested dict per shard
+    (:func:`repro.exec.shm.scalar_stub`).  This merges those stubs in
+    shard-index order with exactly the field semantics of
+    :func:`merge_shards` — ``n_trials`` sums, nested batch results
+    recurse, everything else must agree across shards (same
+    cut-from-different-workloads diagnostics) — so the two reducer
+    paths accept and reject identical shard sets.  The merged result's
+    arrays are then full-length *views* of the segment
+    (:func:`repro.exec.shm.build_batch`); no array is ever copied.
+    """
+    if not stubs:
+        raise ValueError("no shards to merge")
+    nested = dict(getattr(cls, "NESTED_BATCH_FIELDS", ()))
+    merged: dict[str, Any] = {}
+    for name in stubs[0]:
+        values = [stub[name] for stub in stubs]
+        if name in nested:
+            merged[name] = merge_stubs(values, nested[name])
+        else:
+            merged[name] = _merge_field(name, values)
+    return merged
 
 
 def merge_shards(shards: Iterable[R]) -> R:

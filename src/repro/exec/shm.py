@@ -1,0 +1,406 @@
+"""Zero-copy shared-memory transport for the parallel backend.
+
+The sharded backend used to pay for parallelism twice at every shard
+boundary: the sub-plan pickled into the worker, and the shard's whole
+struct-of-arrays result pickled back out and concatenated by the
+reducer.  This module removes both round-trips:
+
+* **One control segment per run** holds the pickled sub-plans (each
+  shard's slice pickled exactly once, so retries and pool respawns
+  re-read bytes instead of re-pickling) plus the result layout.
+* **One result segment per run** holds the merged result's trial-axis
+  tensors, laid out field by field.  Workers attach by name and write
+  their shard's ``[lo, hi)`` slice of every array *in place*; only a
+  tiny scalar stub (``n``, ``colors``, ``rounds``, ...) travels back
+  through the pool pipe.  The final merge is **zero-copy**: the merged
+  arrays are NumPy views over the parent's own mapping of the segment
+  — no concatenation, no second copy (``repro.exec.reducers``).
+
+Which arrays exist at what dtype is declared by the batch-result
+classes themselves via the **out-buffer protocol**: a class-level
+``ARRAY_FIELDS`` tuple of ``(field, dtype)`` pairs, plus
+``NESTED_BATCH_FIELDS`` for results that embed other batch results
+(the strategy tier's honest/deviant pair).  A result type without the
+protocol simply falls back to the pickling transport.
+
+Ownership and unlink contract (DESIGN.md §9)
+--------------------------------------------
+The **parent owns both segments, exclusively**.  Workers attach by
+name, immediately deregister the attachment from their resource
+tracker (the parent's registration is the only one), and never unlink.
+The parent unlinks on *every* exit path — success, worker crash, shard
+timeout, serial degradation, ``KeyboardInterrupt`` — via an idempotent
+``close()`` in a ``finally`` block.  Unlinking happens as soon as the
+merged result is constructed: on POSIX the mapping stays valid for the
+life of the result arrays while the ``/dev/shm`` entry is already
+gone, so a crash *after* the run can no longer leak a segment.  The
+only leak window is a hard kill of the parent between create and
+unlink, which no userspace design can close.
+
+A worker SIGKILLed mid-write leaves a torn slice; that is harmless by
+construction, because a shard's slice is only trusted once the
+worker's scalar stub returns, and every retry (and the serial
+degradation path) rewrites the full slice.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import secrets
+from dataclasses import dataclass, fields as _dc_fields
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "ResultLayout",
+    "batch_schema",
+    "build_batch",
+    "export_batch",
+    "plan_layout",
+    "repo_segments",
+    "retain",
+    "scalar_stub",
+    "shm_enabled",
+    "supports_buffers",
+]
+
+#: Every segment this module creates carries this name prefix, so leak
+#: checks (tests, CI) can count our segments without false positives.
+SEGMENT_PREFIX = "repro_exec_"
+
+#: Field offsets are aligned to cache lines; adjacent shards then only
+#: ever share a line at their own boundary, never across fields.
+_ALIGN = 64
+
+_FALSY = ("0", "false", "no", "off")
+
+
+def shm_enabled(environ: Mapping[str, str] | None = None) -> bool:
+    """Whether the zero-copy transport is active (default: yes).
+
+    ``REPRO_SHM=0`` falls back to the pickling transport — the
+    debugging escape hatch, and what the cross-path byte-identity
+    tests compare against.
+    """
+    env = os.environ if environ is None else environ
+    return env.get("REPRO_SHM", "").strip().lower() not in _FALSY
+
+
+def supports_buffers(cls: type) -> bool:
+    """Does ``cls`` implement the out-buffer protocol?"""
+    return bool(getattr(cls, "ARRAY_FIELDS", ())) or bool(
+        getattr(cls, "NESTED_BATCH_FIELDS", ())
+    )
+
+
+def batch_schema(cls: type, prefix: str = "") -> tuple[
+    tuple[str, np.dtype], ...
+]:
+    """Ordered ``(path, dtype)`` pairs of every trial-axis array.
+
+    Nested batch results contribute dotted paths (``honest.winner``),
+    so one flat schema describes the whole result tree.
+    """
+    entries: list[tuple[str, np.dtype]] = []
+    for name, dtype in getattr(cls, "ARRAY_FIELDS", ()):
+        entries.append((prefix + name, np.dtype(dtype)))
+    for name, sub in getattr(cls, "NESTED_BATCH_FIELDS", ()):
+        entries.extend(batch_schema(sub, prefix=f"{prefix}{name}."))
+    return tuple(entries)
+
+
+@dataclass(frozen=True)
+class ResultLayout:
+    """Where each result array lives inside the result segment.
+
+    ``slots`` maps the schema's dotted paths to ``(dtype string,
+    byte offset)``; the layout is computed once by the parent and
+    shipped to workers through the control segment, so both sides
+    address the same bytes.
+    """
+
+    n_trials: int
+    slots: tuple[tuple[str, str, int], ...]   # (path, dtype.str, offset)
+    size: int
+
+    def views(self, shm: shared_memory.SharedMemory) -> dict[str, np.ndarray]:
+        """Full-length array views over a mapping of the segment."""
+        return {
+            path: np.ndarray(
+                (self.n_trials,), dtype=np.dtype(dtype), buffer=shm.buf,
+                offset=offset,
+            )
+            for path, dtype, offset in self.slots
+        }
+
+
+def plan_layout(cls: type, n_trials: int) -> ResultLayout:
+    """Lay the result tree of ``cls`` out field by field."""
+    offset = 0
+    slots: list[tuple[str, str, int]] = []
+    for path, dtype in batch_schema(cls):
+        offset = (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+        slots.append((path, dtype.str, offset))
+        offset += dtype.itemsize * n_trials
+    return ResultLayout(n_trials=n_trials, slots=tuple(slots),
+                        size=max(offset, 1))
+
+
+# ---------------------------------------------------------------------------
+# The out-buffer protocol: export / stub / rebuild
+# ---------------------------------------------------------------------------
+
+def _get_path(result: Any, path: str) -> Any:
+    for part in path.split("."):
+        result = getattr(result, part)
+    return result
+
+
+def export_batch(
+    result: Any,
+    views: Mapping[str, np.ndarray],
+    lo: int,
+    hi: int,
+    *,
+    fault: Any = None,
+) -> None:
+    """Write every array of ``result`` into its ``[lo, hi)`` slice.
+
+    Dtype mismatches raise instead of casting — a silent cast could
+    round-trip different bytes than the serial backend produced.
+    ``fault`` is the chaos hook: a :class:`~repro.exec.chaos.ShardChaos`
+    with ``kill_mid_write`` set makes the worker die after half the
+    fields, leaving a genuinely torn slice for the recovery paths.
+    """
+    schema = batch_schema(type(result))
+    kill_after = len(schema) // 2 if (
+        fault is not None and getattr(fault, "kill_mid_write", False)
+    ) else None
+    for index, (path, dtype) in enumerate(schema):
+        if kill_after is not None and index == kill_after:
+            fault.die()
+        arr = _get_path(result, path)
+        view = views[path]
+        if arr.dtype != view.dtype:
+            raise TypeError(
+                f"out-buffer dtype mismatch for {path!r}: result has "
+                f"{arr.dtype}, layout declares {view.dtype}"
+            )
+        view[lo:hi] = arr
+
+
+def scalar_stub(result: Any) -> dict[str, Any]:
+    """The non-array fields of a batch result, nested as dicts.
+
+    This is all that travels back from a worker on the zero-copy
+    transport; the reducer cross-checks stubs across shards exactly
+    like the pickling path cross-checks full results.
+    """
+    cls = type(result)
+    array_names = {name for name, _ in getattr(cls, "ARRAY_FIELDS", ())}
+    nested = dict(getattr(cls, "NESTED_BATCH_FIELDS", ()))
+    stub: dict[str, Any] = {}
+    for field in _dc_fields(cls):
+        if field.name in array_names:
+            continue
+        value = getattr(result, field.name)
+        stub[field.name] = (
+            scalar_stub(value) if field.name in nested else value
+        )
+    return stub
+
+
+def build_batch(
+    cls: type,
+    stub: Mapping[str, Any],
+    views: Mapping[str, np.ndarray],
+    prefix: str = "",
+) -> Any:
+    """Reassemble a batch result from a merged stub plus array views.
+
+    The arrays handed in are the full-length views over the result
+    segment — the zero-copy merge: no concatenation ever happens.
+    """
+    nested = dict(getattr(cls, "NESTED_BATCH_FIELDS", ()))
+    kwargs = dict(stub)
+    for name, _ in getattr(cls, "ARRAY_FIELDS", ()):
+        kwargs[name] = views[prefix + name]
+    for name, sub in nested.items():
+        kwargs[name] = build_batch(sub, stub[name], views,
+                                   prefix=f"{prefix}{name}.")
+    return cls(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Segments: parent-owned blocks, worker-side attach cache
+# ---------------------------------------------------------------------------
+
+def _fresh_name() -> str:
+    return f"{SEGMENT_PREFIX}{secrets.token_hex(8)}"
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to a segment without registering with a resource tracker.
+
+    ``SharedMemory(name=...)`` registers every attachment for cleanup,
+    but the parent's registration (made at create time) is the one and
+    only canonical owner.  A second registration is actively harmful:
+    under the ``fork`` context the tracker is *shared*, so a worker
+    unregistering its attachment would delete the parent's entry (and a
+    worker exiting without unregistering would unlink the segment out
+    from under the parent).  Suppressing the register call during
+    attach keeps the tracker's books exactly right on every start
+    method.  Pool tasks run single-threaded, so the swap is race-free.
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class OwnedSegment:
+    """A parent-owned shared-memory block with an idempotent unlink.
+
+    ``unlink()`` removes the name system-wide but leaves this process's
+    mapping valid, so result views built over ``buf`` survive it; it is
+    safe (and expected) to call from ``finally`` blocks on every path.
+    """
+
+    def __init__(self, size: int) -> None:
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=size, name=_fresh_name()
+        )
+        self._linked = True
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def buf(self) -> memoryview:
+        return self._shm.buf
+
+    @property
+    def shm(self) -> shared_memory.SharedMemory:
+        return self._shm
+
+    def write(self, payload: bytes, offset: int = 0) -> None:
+        self._shm.buf[offset:offset + len(payload)] = payload
+
+    def unlink(self) -> None:
+        if self._linked:
+            self._linked = False
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+
+# Result segments whose views escaped into a merged result.  A merged
+# batch holds ndarray views over the segment's mapping; if the
+# SharedMemory object were finalised while those views live, its
+# ``__del__`` → ``close()`` would trip a BufferError on the exported
+# memoryview.  Retaining the (already unlinked) segment for the life
+# of the process sidesteps the whole finalisation race: the mapping is
+# needed as long as the arrays anyway, and an unlinked segment holds
+# no /dev/shm entry — only the pages the result itself uses.
+_retained: list["OwnedSegment"] = []
+
+
+def retain(segment: "OwnedSegment") -> None:
+    """Keep ``segment``'s mapping alive for the rest of the process."""
+    _retained.append(segment)
+
+
+# Worker-side attach cache: pool workers are long-lived, so one run's
+# segments are attached once per worker, not once per shard.  Keyed by
+# segment name; a task naming a different segment evicts the old one
+# (its per-task views are gone by then, so the close cannot fail).
+_attached: dict[str, tuple[str, Any]] = {}
+
+
+def attached(kind: str, name: str) -> shared_memory.SharedMemory:
+    """Attach (or reuse) the named segment inside a pool worker."""
+    cached = _attached.get(kind)
+    if cached is not None and cached[0] == name:
+        return cached[1]
+    if cached is not None:
+        try:
+            cached[1].close()
+        except BufferError:
+            # A live export view (shouldn't happen between tasks);
+            # dropping the reference still frees it with the process.
+            pass
+    shm = _attach_untracked(name)
+    _attached[kind] = (name, shm)
+    return shm
+
+
+def repo_segments() -> list[str]:
+    """Names of live ``repro_exec_*`` segments (the leak check).
+
+    Reads ``/dev/shm`` where it exists (Linux); elsewhere returns an
+    empty list, which keeps the leak tests vacuously green rather than
+    wrong.
+    """
+    root = "/dev/shm"
+    if not os.path.isdir(root):
+        return []
+    return sorted(
+        entry for entry in os.listdir(root)
+        if entry.startswith(SEGMENT_PREFIX)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Control segment: pickled sub-plans + layout, readable by shard index
+# ---------------------------------------------------------------------------
+
+_HEADER_LEN_BYTES = 8
+
+
+def pack_control(
+    layout: ResultLayout,
+    bounds: list[tuple[int, int]],
+    plan_pickles: list[bytes],
+) -> bytes:
+    """Serialise the run's control block.
+
+    Layout: ``[8-byte header length][pickled header][plan 0][plan 1]…``
+    — the header carries each plan's span, so a worker unpickles *only*
+    its shard's bytes.
+    """
+    spans = []
+    offset = 0
+    for blob in plan_pickles:
+        spans.append((offset, len(blob)))
+        offset += len(blob)
+    header = pickle.dumps(
+        {"layout": layout, "bounds": list(bounds), "spans": spans},
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    prefix = len(header).to_bytes(_HEADER_LEN_BYTES, "big")
+    return b"".join([prefix, header, *plan_pickles])
+
+
+def read_control_header(buf: memoryview) -> dict[str, Any]:
+    """Parse the header of a control segment (worker side)."""
+    header_len = int.from_bytes(bytes(buf[:_HEADER_LEN_BYTES]), "big")
+    start = _HEADER_LEN_BYTES
+    header = pickle.loads(buf[start:start + header_len])
+    header["plans_offset"] = start + header_len
+    return header
+
+
+def read_control_plan(buf: memoryview, header: Mapping[str, Any],
+                      shard_index: int) -> Any:
+    """Unpickle shard ``shard_index``'s sub-plan from the control block."""
+    offset, length = header["spans"][shard_index]
+    start = header["plans_offset"] + offset
+    return pickle.loads(buf[start:start + length])

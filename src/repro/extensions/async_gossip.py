@@ -34,7 +34,7 @@ Faulty agents never wake and never reply.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Sequence
+from typing import ClassVar, Hashable, Iterable, Sequence
 
 import numpy as np
 
@@ -74,7 +74,19 @@ class AsyncBatchResult:
 
     Each trial runs the E10b pair of measurements: min-aggregation over
     a fresh value vector (``child("vals")`` of the trial seed, see
-    :func:`async_minagg_values`) and the fair leader election."""
+    :func:`async_minagg_values`) and the fair leader election.
+
+    ``ARRAY_FIELDS`` is the out-buffer protocol of the zero-copy
+    parallel transport (:mod:`repro.exec.shm`)."""
+
+    #: Trial-axis arrays and their dtypes, in declaration order (the
+    #: out-buffer protocol; dtypes must match the constructed arrays).
+    ARRAY_FIELDS: ClassVar[tuple[tuple[str, str], ...]] = (
+        ("minagg_ticks", "int64"),
+        ("election_converged", "bool"),
+        ("election_winner", "int64"),
+        ("election_ticks", "int64"),
+    )
 
     n: int
     n_trials: int

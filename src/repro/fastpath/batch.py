@@ -53,7 +53,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Sequence
+from typing import ClassVar, Hashable, Iterable, Sequence
 
 import numpy as np
 from scipy import stats as _scipy_stats
@@ -112,7 +112,29 @@ class FastBatchResult:
     equivalence tests and anywhere a single run is handed off).
     ``winner`` is the winning agent's label, or ``-1`` where the run
     failed (⊥) — mirroring ``FastRunResult.winner is None``.
+
+    ``ARRAY_FIELDS`` is the out-buffer protocol of the parallel
+    backend's zero-copy transport (:mod:`repro.exec.shm`): it declares
+    every trial-axis array field and its exact dtype, so a pool worker
+    can write its shard's slice of each array straight into a parent-
+    owned shared-memory block instead of pickling it back.
     """
+
+    #: Trial-axis arrays and their dtypes, in declaration order (the
+    #: out-buffer protocol; dtypes must match the constructed arrays).
+    ARRAY_FIELDS: ClassVar[tuple[tuple[str, str], ...]] = (
+        ("n_active", "int64"),
+        ("winner", "int64"),
+        ("min_votes", "int64"),
+        ("max_votes", "int64"),
+        ("k_collision", "bool"),
+        ("find_min_agreement", "bool"),
+        ("find_min_rounds", "int64"),
+        ("min_commitment_pulls_received", "int64"),
+        ("total_messages", "int64"),
+        ("total_bits", "int64"),
+        ("max_message_bits", "int64"),
+    )
 
     n: int
     n_trials: int

@@ -49,7 +49,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Sequence
+from typing import ClassVar, Hashable, Iterable, Sequence
 
 import numpy as np
 
@@ -108,7 +108,22 @@ class GraphBatchResult:
     ``failed_agents``
         Active agents that entered the invalid state (Coherence
         mismatch — the only failure an honest graph run can produce).
+
+    ``ARRAY_FIELDS`` is the out-buffer protocol of the zero-copy
+    parallel transport (:mod:`repro.exec.shm`).
     """
+
+    #: Trial-axis arrays and their dtypes, in declaration order (the
+    #: out-buffer protocol; dtypes must match the constructed arrays).
+    ARRAY_FIELDS: ClassVar[tuple[tuple[str, str], ...]] = (
+        ("n_active", "int64"),
+        ("success", "bool"),
+        ("winner", "int64"),
+        ("outcome_idx", "int64"),
+        ("zero_vote_agents", "int64"),
+        ("split", "bool"),
+        ("failed_agents", "int64"),
+    )
 
     n: int
     n_trials: int

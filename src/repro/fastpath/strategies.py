@@ -44,7 +44,7 @@ owner (the agent engine reports the color with ``winner=None``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Hashable, Sequence
+from typing import Callable, ClassVar, Hashable, Sequence
 
 import numpy as np
 
@@ -116,7 +116,26 @@ class StrategyBatchResult:
     ``exposed_members``
         How many coalition members were exposed during Commitment
         (Lemma 6.1's count; ``pooled`` forges iff it is below ``t``).
+
+    ``ARRAY_FIELDS``/``NESTED_BATCH_FIELDS`` form the out-buffer
+    protocol (:mod:`repro.exec.shm`): the observer arrays plus both
+    nested honest/deviant batches land in one parent-owned shared-
+    memory block, so a shard's tensors never round-trip through pickle.
     """
+
+    #: Trial-axis arrays of the observer-side measurements (the
+    #: out-buffer protocol; dtypes must match the constructed arrays).
+    ARRAY_FIELDS: ClassVar[tuple[tuple[str, str], ...]] = (
+        ("detected", "bool"),
+        ("split", "bool"),
+        ("forged", "bool"),
+        ("exposed_members", "int64"),
+    )
+    #: Nested batch results whose arrays join the same out-buffer.
+    NESTED_BATCH_FIELDS: ClassVar[tuple[tuple[str, type], ...]] = (
+        ("honest", FastBatchResult),
+        ("deviant", FastBatchResult),
+    )
 
     strategy: str
     members: tuple[int, ...]

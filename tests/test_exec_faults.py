@@ -42,7 +42,7 @@ from repro.exec import (
 )
 from repro.exec import chaos
 from repro.exec.plan import compile_honest_plan
-from repro.exec.pool import default_workers
+from repro.exec.pool import available_cpus, default_workers
 from repro.experiments.dispatch import run_async_trials_fast, run_trials_fast
 from repro.experiments.registry import run_experiment
 from repro.experiments.workloads import balanced
@@ -88,14 +88,40 @@ def _fields_equal(a, b) -> bool:
 
 class TestPoolGuards:
     def test_default_workers_survives_unknown_cpu_count(self, monkeypatch):
+        # No affinity call, no cpu_count answer: one worker, no crash.
+        monkeypatch.setattr("repro.exec.pool.os.sched_getaffinity", None,
+                            raising=False)
         monkeypatch.setattr("repro.exec.pool.os.cpu_count", lambda: None)
+        assert available_cpus() == 1
         assert default_workers() == 1
 
     def test_default_workers_floor_and_cap(self, monkeypatch):
-        monkeypatch.setattr("repro.exec.pool.os.cpu_count", lambda: 1)
+        monkeypatch.setattr("repro.exec.pool.os.sched_getaffinity",
+                            lambda pid: {0}, raising=False)
         assert default_workers() == 1
-        monkeypatch.setattr("repro.exec.pool.os.cpu_count", lambda: 64)
+        monkeypatch.setattr("repro.exec.pool.os.sched_getaffinity",
+                            lambda pid: set(range(64)), raising=False)
         assert default_workers() == 16
+
+    def test_workers_sized_from_affinity_not_machine(self, monkeypatch):
+        # The cgroup/taskset case: the machine has 64 cores, the
+        # process is granted 2.  Sizing from cpu_count() would
+        # oversubscribe 30x; the affinity mask is the truth.
+        monkeypatch.setattr("repro.exec.pool.os.cpu_count", lambda: 64)
+        monkeypatch.setattr("repro.exec.pool.os.sched_getaffinity",
+                            lambda pid: {0, 1}, raising=False)
+        assert available_cpus() == 2
+        assert default_workers() == 1
+
+    def test_affinity_failure_falls_back_to_cpu_count(self, monkeypatch):
+        def boom(pid):
+            raise OSError("no affinity on this platform")
+
+        monkeypatch.setattr("repro.exec.pool.os.sched_getaffinity", boom,
+                            raising=False)
+        monkeypatch.setattr("repro.exec.pool.os.cpu_count", lambda: 8)
+        assert available_cpus() == 8
+        assert default_workers() == 6
 
     @pytest.mark.parametrize("bad", [0, -1, -8])
     def test_run_trials_rejects_nonpositive_workers(self, bad):
@@ -125,6 +151,41 @@ class TestPoolGuards:
         policy = get_fault_policy()
         assert policy.shard_timeout_s == 12.5
         assert policy.max_retries == 5
+
+    @pytest.mark.parametrize("bad", ["5s", "nan", "-3", "0", "1,5"])
+    def test_malformed_timeout_env_rejected(self, monkeypatch, bad):
+        from repro.exec.backends import get_fault_policy
+
+        monkeypatch.setenv("REPRO_SHARD_TIMEOUT", bad)
+        with pytest.raises(ValueError) as err:
+            get_fault_policy()
+        # The error names the variable and the accepted form — never a
+        # bare float() traceback, never a silently accepted NaN.
+        assert "REPRO_SHARD_TIMEOUT" in str(err.value)
+        assert "seconds" in str(err.value)
+
+    @pytest.mark.parametrize("bad", ["two", "-1", "1.5", "0x2"])
+    def test_malformed_retries_env_rejected(self, monkeypatch, bad):
+        from repro.exec.backends import get_fault_policy
+
+        monkeypatch.setenv("REPRO_MAX_RETRIES", bad)
+        with pytest.raises(ValueError) as err:
+            get_fault_policy()
+        assert "REPRO_MAX_RETRIES" in str(err.value)
+        assert "integer" in str(err.value)
+
+    def test_empty_env_knobs_mean_unset(self, monkeypatch):
+        from repro.exec.backends import get_fault_policy
+
+        monkeypatch.setenv("REPRO_SHARD_TIMEOUT", "")
+        monkeypatch.setenv("REPRO_MAX_RETRIES", "")
+        policy = get_fault_policy()
+        assert policy.shard_timeout_s is None
+        assert policy.max_retries == FaultPolicy().max_retries
+
+    def test_fault_policy_rejects_nan_timeout(self):
+        with pytest.raises(ValueError, match="shard_timeout_s"):
+            FaultPolicy(shard_timeout_s=float("nan"))
 
     def test_fault_policy_context_restores(self):
         from repro.exec.backends import get_fault_policy
@@ -318,6 +379,106 @@ class TestShardRecovery:
             recovered = run_async_trials_fast(16, range(8),
                                               colors=balanced(16), jobs=2)
         assert _fields_equal(serial, recovered)
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory lifecycle: every recovery path unlinks its segments
+# ---------------------------------------------------------------------------
+
+class TestShmLifecycle:
+    """The shm ownership contract (DESIGN.md §9): the parent owns both
+    segments and unlinks them on *every* path — normal completion,
+    worker SIGKILL (pre-compute and mid-write), shard timeout with pool
+    respawn, serial degradation.  ``/dev/shm`` must end every run
+    exactly as it started."""
+
+    COLORS = balanced(24)
+    SEEDS = range(10)
+
+    @staticmethod
+    def _segments():
+        from repro.exec.shm import repo_segments
+
+        return repo_segments()
+
+    def test_normal_run_uses_shm_and_leaks_nothing(self):
+        before = self._segments()
+        with collect_execution() as records:
+            result = run_trials_fast(self.COLORS, self.SEEDS,
+                                     engine="batch-parity", jobs=2)
+        (rec,) = records
+        assert rec.transport == "shm"
+        assert rec.workers == 2
+        assert self._segments() == before
+        assert _fields_equal(result, run_trials_fast(
+            self.COLORS, self.SEEDS, engine="batch-parity"))
+
+    def test_worker_sigkill_mid_write_leaks_nothing(self):
+        before = self._segments()
+        serial = run_trials_fast(self.COLORS, self.SEEDS,
+                                 engine="batch-parity")
+        cfg = chaos.ChaosConfig(seed=31, kill_rate=1.0,
+                                max_faulty_attempts=1)
+        # The schedule must actually contain mid-write kills (chaos
+        # splits kills 50/50 between pre-compute and mid-write).
+        specs = [cfg.shard_chaos(s, 0) for s in range(8)]
+        assert any(s.kill_mid_write for s in specs)
+        assert any(s.kill for s in specs)
+        with chaos.install(cfg), fault_policy(
+            FaultPolicy(backoff_base_s=0.01)
+        ), collect_execution() as records:
+            recovered = run_trials_fast(self.COLORS, self.SEEDS,
+                                        engine="batch-parity", jobs=2)
+        (rec,) = records
+        assert rec.shard_failures > 0
+        assert rec.transport == "shm"
+        assert self._segments() == before
+        # A torn slice never reaches the merged result: the retry
+        # rewrote the whole slice.
+        assert _fields_equal(serial, recovered)
+
+    def test_timeout_respawn_leaks_nothing(self):
+        before = self._segments()
+        serial = run_trials_fast(self.COLORS, self.SEEDS,
+                                 engine="batch-parity")
+        cfg = chaos.ChaosConfig(seed=32, delay_rate=1.0, delay_s=1.5,
+                                max_faulty_attempts=1)
+        with chaos.install(cfg), fault_policy(
+            FaultPolicy(shard_timeout_s=0.3, backoff_base_s=0.01)
+        ):
+            recovered = run_trials_fast(self.COLORS, self.SEEDS,
+                                        engine="batch-parity", jobs=2)
+        assert self._segments() == before
+        assert _fields_equal(serial, recovered)
+
+    def test_serial_degradation_leaks_nothing(self):
+        before = self._segments()
+        serial = run_trials_fast(self.COLORS, self.SEEDS,
+                                 engine="batch-parity")
+        cfg = chaos.ChaosConfig(seed=33, kill_rate=1.0,
+                                max_faulty_attempts=99)
+        with chaos.install(cfg), fault_policy(
+            FaultPolicy(max_retries=1, backoff_base_s=0.01)
+        ), collect_execution() as records:
+            recovered = run_trials_fast(self.COLORS, self.SEEDS,
+                                        engine="batch-parity", jobs=2)
+        (rec,) = records
+        assert rec.degraded_shards >= 1
+        assert self._segments() == before
+        # Degraded shards were written into the segment by the parent
+        # itself — same bytes as the pool path.
+        assert _fields_equal(serial, recovered)
+
+    def test_shm_disabled_falls_back_to_pickle(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "0")
+        serial = run_trials_fast(self.COLORS, self.SEEDS,
+                                 engine="batch-parity")
+        with collect_execution() as records:
+            result = run_trials_fast(self.COLORS, self.SEEDS,
+                                     engine="batch-parity", jobs=2)
+        (rec,) = records
+        assert rec.transport == "pickle"
+        assert _fields_equal(serial, result)
 
 
 # ---------------------------------------------------------------------------
@@ -582,6 +743,19 @@ class TestCliFaultFlags:
             "experiment", "e1", "--max-retries", "-1",
         ]) == 2
         assert "max_retries" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag,value", [
+        ("--shard-timeout", "5s"),
+        ("--shard-timeout", "nan"),
+        ("--max-retries", "two"),
+        ("--max-retries", "1.5"),
+    ])
+    def test_non_numeric_flags_exit_2_naming_flag(self, capsys, flag, value):
+        # Flags are validated post-parse (not by argparse's type=), so
+        # the error is ours: exit 2, naming the flag and accepted form.
+        assert cli_main(["experiment", "e1", flag, value]) == 2
+        err = capsys.readouterr().err
+        assert flag in err
 
 
 # ---------------------------------------------------------------------------

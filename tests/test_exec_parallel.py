@@ -37,6 +37,7 @@ from repro.exec import (
     resolve_engine,
 )
 from repro.exec.backends import shard_bounds
+from repro.exec.plan import shard_size_hint
 from repro.experiments.dispatch import (
     run_async_trials_fast,
     run_deviation_trials_fast,
@@ -327,6 +328,111 @@ class TestFrontDoorDeterminism:
                 colors, range(15), "underbid_alter", {0}, jobs=jobs
             )
             assert _fields_equal(serial, again), jobs
+
+
+# ---------------------------------------------------------------------------
+# Transports: the zero-copy (shm) and pickling paths agree byte-for-byte
+# ---------------------------------------------------------------------------
+
+class TestTransports:
+    """Byte-identity of the zero-copy reducer path against the copying
+    path, per front door: the same workload runs serial, sharded over
+    shared memory (``REPRO_SHM`` default) and sharded over the pickling
+    fallback (``REPRO_SHM=0``), and every field of every (possibly
+    nested) batch result must match exactly."""
+
+    def _run_three_ways(self, monkeypatch, fn):
+        serial = fn(None)
+        monkeypatch.delenv("REPRO_SHM", raising=False)
+        with collect_execution() as shm_rec:
+            over_shm = fn(2)
+        monkeypatch.setenv("REPRO_SHM", "0")
+        with collect_execution() as pkl_rec:
+            over_pickle = fn(2)
+        assert shm_rec[0].transport == "shm"
+        assert shm_rec[0].backend == "parallel"
+        assert pkl_rec[0].transport == "pickle"
+        # Same shard layout on both transports: the transport is pure
+        # mechanics, the cut is not its decision.
+        assert shm_rec[0].shards == pkl_rec[0].shards
+        assert _fields_equal(serial, over_shm)
+        assert _fields_equal(serial, over_pickle)
+
+    def test_honest_front_door(self, monkeypatch):
+        colors = balanced(24)
+        self._run_three_ways(monkeypatch, lambda jobs: run_trials_fast(
+            colors, range(10), engine="batch-parity", jobs=jobs))
+
+    def test_graph_front_door(self, monkeypatch):
+        wl = sample_scenario_workload("er_dense", 24, 8, 29,
+                                      churn_rate=0.05)
+        colors = balanced(24)
+        self._run_three_ways(
+            monkeypatch,
+            lambda jobs: run_graph_trials_fast(
+                wl.csrs, colors, wl.seeds, faulty=wl.faulty,
+                engine="batch-parity", jobs=jobs,
+            ),
+        )
+
+    def test_async_front_door(self, monkeypatch):
+        self._run_three_ways(monkeypatch, lambda jobs: run_async_trials_fast(
+            16, range(10), colors=balanced(16), jobs=jobs))
+
+    def test_deviation_front_door(self, monkeypatch):
+        # n=128 drops the strategy quantum under the trial count, so the
+        # nested honest/deviant batches really cross the shm transport.
+        from repro.fastpath.strategies import strategy_block_trials
+        from repro.core.params import ProtocolParams
+
+        colors = balanced(128)
+        params = ProtocolParams(n=128, gamma=3.0, num_colors=2)
+        quantum = strategy_block_trials(127, params.q)
+        n_trials = 2 * quantum + 3
+        self._run_three_ways(
+            monkeypatch,
+            lambda jobs: run_deviation_trials_fast(
+                colors, range(n_trials), "underbid_alter", {0}, jobs=jobs,
+            ),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Shard-size auto-tuning
+# ---------------------------------------------------------------------------
+
+class TestShardTuning:
+    def test_hint_is_quantum_multiple(self):
+        plan = compile_honest_plan(balanced(1 << 14), range(600))
+        hint = shard_size_hint(plan, jobs=2)
+        assert hint is not None
+        assert hint % plan.shard_quantum == 0
+        assert hint >= plan.shard_quantum
+
+    def test_hint_deterministic(self):
+        plan = compile_honest_plan(balanced(1 << 14), range(600))
+        assert shard_size_hint(plan, 4) == shard_size_hint(plan, 4)
+
+    def test_hint_respects_jobs(self):
+        """Small workloads still split one shard per worker: the even
+        split bounds the tuned size from above."""
+        plan = compile_honest_plan(balanced(24), range(12),
+                                   engine="batch-parity")
+        assert shard_size_hint(plan, 4) <= -(-plan.n_trials // 4)
+
+    def test_unknown_engine_falls_back(self):
+        plan = compile_honest_plan(balanced(16), range(8), engine="agent")
+        assert shard_size_hint(plan, 2) is None
+
+    def test_tuning_never_changes_bytes(self):
+        """The tuned layout differs from the legacy fixed-shards-per-job
+        cut, yet the merged result is identical — shard size is pure
+        mechanics."""
+        colors = balanced(1 << 14)
+        seeds = list(range(300))
+        serial = run_trials_fast(colors, seeds)
+        sharded = run_trials_fast(colors, seeds, jobs=2)
+        assert _fields_equal(serial, sharded)
 
 
 # ---------------------------------------------------------------------------
