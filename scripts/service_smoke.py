@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""CI acceptance check: the experiment service end to end, over HTTP.
+
+Boots a real daemon (``repro serve`` in a child process), then drives
+the service contract (DESIGN.md §11) through the public surfaces only
+— the HTTP API and the CLI:
+
+1. **Serve** — ``repro serve`` against a fresh store; wait for
+   ``/healthz``.
+2. **Submit** — POST an E1 cell, poll the job to completion, fetch the
+   stored document.
+3. **Fidelity** — diff the service-computed payload (meta stripped)
+   against a direct ``repro experiment e1 --format json`` run of the
+   same options in a separate process.  They must be byte-identical.
+4. **Dedup** — resubmit the same cell: the reply must be an immediate
+   store answer (``status: done``, ``cached: true``, no job id) and
+   ``/stats`` must show **zero additional executions**.
+5. **CLI round trip** — ``repro submit`` of the same cell prints the
+   same payload and exercises the cache-hit path from the CLI.
+
+Usage::
+
+    PYTHONPATH=src python scripts/service_smoke.py [workdir]
+
+Exit status 0 on success, 1 on any divergence.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+sys.path.insert(0, str(SRC))
+
+PORT = int(os.environ.get("REPRO_SMOKE_PORT", "18731"))
+URL = f"http://127.0.0.1:{PORT}"
+
+# The smoke cell: small but a real sync sweep, two sizes.
+CELL = {"trials": 16, "sizes": [16, 32], "workloads": ["balanced"],
+        "seed": 901, "parallel": False}
+CELL_FLAGS = ["--set", "trials=16", "--set", "sizes=16,32",
+              "--set", "workloads=balanced", "--set", "seed=901",
+              "--set", "parallel=false"]
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    return env
+
+
+def _get(path: str) -> dict:
+    with urllib.request.urlopen(f"{URL}{path}", timeout=10) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def _post(path: str, body: dict) -> dict:
+    req = urllib.request.Request(
+        f"{URL}{path}", data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    with urllib.request.urlopen(req, timeout=10) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def _wait_healthy(proc: subprocess.Popen, deadline_s: float = 30) -> None:
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            sys.exit(f"FAIL: serve process died: "
+                     f"{proc.stderr.read()}")
+        try:
+            if _get("/healthz").get("ok"):
+                return
+        except (urllib.error.URLError, ConnectionError):
+            time.sleep(0.1)
+    sys.exit("FAIL: service never became healthy")
+
+
+def _stripped(doc: dict) -> dict:
+    doc = dict(doc)
+    doc.pop("meta", None)
+    return doc
+
+
+def main(workdir: str | None = None) -> int:
+    work = Path(workdir) if workdir else Path(tempfile.mkdtemp())
+    work.mkdir(parents=True, exist_ok=True)
+    store = work / "smoke-store.sqlite3"
+    serve = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--store", str(store),
+         "--port", str(PORT)],
+        env=_env(), stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        _wait_healthy(serve)
+        print(f"[smoke] service healthy at {URL}")
+
+        # -- submit + poll over raw HTTP --------------------------------
+        sub = _post("/jobs", {"experiment": "e1", "options": CELL})
+        assert sub["status"] in ("queued", "running"), sub
+        assert sub["id"], sub
+        print(f"[smoke] submitted {sub['id']} (key {sub['key']})")
+        deadline = time.monotonic() + 120
+        while True:
+            job = _get(f"/jobs/{sub['id']}")
+            if job["state"] == "done":
+                break
+            if job["state"] == "failed":
+                sys.exit(f"FAIL: job failed: {job['error']}")
+            if time.monotonic() > deadline:
+                sys.exit("FAIL: job never completed")
+            time.sleep(0.05)
+        assert not job["cached"], "first submission cannot be a cache hit"
+        service_doc = _get(f"/results/{sub['key']}")
+        print(f"[smoke] job done in {job['run_wall_s']:.2f}s, "
+              "document fetched")
+
+        # -- byte fidelity vs a direct CLI run --------------------------
+        direct = subprocess.run(
+            [sys.executable, "-m", "repro", "experiment", "e1",
+             *CELL_FLAGS, "--format", "json"],
+            env=_env(), capture_output=True, text=True, timeout=300,
+        )
+        if direct.returncode != 0:
+            sys.exit(f"FAIL: direct CLI run failed: {direct.stderr}")
+        direct_doc = json.loads(direct.stdout)
+        if _stripped(service_doc) != _stripped(direct_doc):
+            sys.exit("FAIL: service payload != direct CLI payload "
+                     "(meta stripped)")
+        print("[smoke] byte fidelity: service == direct CLI run")
+
+        # -- dedup: resubmit answers from the store, zero re-execution --
+        executed_before = _get("/stats")["daemon"]["executed"]
+        again = _post("/jobs", {"experiment": "e1", "options": CELL})
+        assert again["status"] == "done" and again["cached"] is True, again
+        assert again["id"] is None, again
+        assert again["key"] == sub["key"], again
+        executed_after = _get("/stats")["daemon"]["executed"]
+        if executed_after != executed_before:
+            sys.exit(f"FAIL: resubmission re-executed "
+                     f"({executed_before} -> {executed_after})")
+        print("[smoke] dedup: resubmission store-served, "
+              f"executions stayed at {executed_after}")
+
+        # -- the CLI client path: repro submit (cache hit) --------------
+        cli = subprocess.run(
+            [sys.executable, "-m", "repro", "submit", "e1", "--url", URL,
+             *CELL_FLAGS, "--format", "json"],
+            env=_env(), capture_output=True, text=True, timeout=300,
+        )
+        if cli.returncode != 0:
+            sys.exit(f"FAIL: repro submit failed: {cli.stderr}")
+        if "cache hit" not in cli.stderr:
+            sys.exit(f"FAIL: repro submit missed the cache: {cli.stderr}")
+        if _stripped(json.loads(cli.stdout)) != _stripped(service_doc):
+            sys.exit("FAIL: repro submit payload != service payload")
+        if _get("/stats")["daemon"]["executed"] != executed_after:
+            sys.exit("FAIL: repro submit re-executed a cached cell")
+        print("[smoke] CLI: repro submit served from cache, "
+              "payload identical")
+
+        # -- store contents visible through repro list ------------------
+        listing = subprocess.run(
+            [sys.executable, "-m", "repro", "list", "--json",
+             "--store", str(store)],
+            env=_env(), capture_output=True, text=True, timeout=60,
+        )
+        stats = json.loads(listing.stdout)["store"]
+        assert stats["results"] == 1 and stats["by_experiment"] == \
+            {"e1": 1}, stats
+        print("[smoke] list --store sees the cached cell")
+    finally:
+        serve.send_signal(signal.SIGINT)
+        try:
+            serve.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            serve.kill()
+    print("[smoke] OK: serve/submit/poll/fidelity/dedup all green")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1] if len(sys.argv) > 1 else None))

@@ -1,10 +1,17 @@
 """Command-line interface.
 
-Three subcommands::
+Local subcommands::
 
     python -m repro run         # one protocol execution, human-readable
     python -m repro experiment  # regenerate an experiment (E1-E10, or all)
     python -m repro list        # available strategies / workloads / experiments
+
+Service subcommands (:mod:`repro.service`; DESIGN.md §11)::
+
+    python -m repro serve            # the job-queue daemon + HTTP JSON API
+    python -m repro submit           # submit an experiment to a daemon
+    python -m repro jobs             # a daemon's job table
+    python -m repro migrate-archive  # import a loose results/ tree into a store
 
 The ``experiment`` subcommand is registry-driven
 (:mod:`repro.experiments.registry`): any field of an experiment's
@@ -12,7 +19,10 @@ options dataclass can be overridden with ``--set field=value`` (values
 are coerced to the field's declared type; comma-separate sequence
 elements), results render as text tables or serialise as JSON/CSV, and
 ``--out DIR`` archives the structured result under its content-hash
-resume key (see :mod:`repro.results`).
+resume key (see :mod:`repro.results`).  ``submit`` shares the ``--set``
+machinery: the same overrides, coerced the same way, produce the same
+content-hash key — so a cell computed by the daemon and one computed
+locally dedup against each other.
 
 Examples::
 
@@ -26,6 +36,11 @@ Examples::
     python -m repro experiment all --trials 20 --serial
     python -m repro experiment all --jobs 4
     python -m repro list --json
+    python -m repro serve --store results/repro-store.sqlite3 --port 8765
+    python -m repro submit e1 --trials 200 --url http://127.0.0.1:8765
+    python -m repro jobs --url http://127.0.0.1:8765
+    python -m repro migrate-archive results/sweep
+    python -m repro list --json --store results/repro-store.sqlite3
 """
 
 from __future__ import annotations
@@ -35,6 +50,7 @@ import ast
 import collections.abc
 import dataclasses
 import json
+import os
 import sys
 import types
 import typing
@@ -131,6 +147,75 @@ def build_parser() -> argparse.ArgumentParser:
         "list", help="show strategies, workloads, experiments")
     list_p.add_argument("--json", dest="as_json", action="store_true",
                         help="machine-readable listing")
+    list_p.add_argument("--store", type=Path, default=None, metavar="PATH",
+                        help="a result-store database (or a directory "
+                             "holding one): the listing then includes "
+                             "cached-result counts per experiment "
+                             "(default: $REPRO_STORE)")
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the experiment service (job queue + HTTP JSON API)",
+    )
+    serve_p.add_argument("--store", type=Path,
+                         default=Path("results/repro-store.sqlite3"),
+                         metavar="PATH",
+                         help="sqlite result store backing the service "
+                              "(created if missing; default: "
+                              "results/repro-store.sqlite3)")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8765)
+    serve_p.add_argument("--queue-size", type=int, default=256, metavar="N",
+                         help="pending-job bound; submissions past it "
+                              "get HTTP 429 (default: 256)")
+    serve_p.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="plan-backend workers per executed job "
+                              "(prewarms the process pool at start-up)")
+    serve_p.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request to stderr")
+
+    submit_p = sub.add_parser(
+        "submit",
+        help="submit an experiment to a running service",
+    )
+    submit_p.add_argument("name", choices=experiment_names(),
+                          help="experiment id (e1..e10)")
+    submit_p.add_argument("--url", default="http://127.0.0.1:8765",
+                          help="service endpoint "
+                               "(default: http://127.0.0.1:8765)")
+    submit_p.add_argument("--trials", type=int, default=None,
+                          help="override the default trial count")
+    submit_p.add_argument("--set", dest="overrides", action="append",
+                          default=[], metavar="FIELD=VALUE",
+                          help="override any option field (same coercion "
+                               "as 'experiment'; same content-hash key)")
+    submit_p.add_argument("--no-wait", action="store_true",
+                          help="print the job record and return instead "
+                               "of polling to completion")
+    submit_p.add_argument("--timeout", type=float, default=600.0,
+                          metavar="SECONDS",
+                          help="polling deadline with --wait "
+                               "(default: 600)")
+    submit_p.add_argument("--format", dest="fmt", choices=("table", "json"),
+                          default="table",
+                          help="how to print the fetched result "
+                               "(default: table)")
+
+    jobs_p = sub.add_parser(
+        "jobs", help="list a running service's jobs")
+    jobs_p.add_argument("--url", default="http://127.0.0.1:8765")
+    jobs_p.add_argument("--json", dest="as_json", action="store_true")
+
+    mig_p = sub.add_parser(
+        "migrate-archive",
+        help="import a loose results/ tree into a sqlite result store",
+    )
+    mig_p.add_argument("tree", type=Path, metavar="DIR",
+                       help="archive directory of <experiment>-<key>.json "
+                            "files (walked recursively)")
+    mig_p.add_argument("--store", type=Path, default=None, metavar="PATH",
+                       help="target store database (default: "
+                            "DIR/repro-store.sqlite3)")
     return parser
 
 
@@ -372,8 +457,145 @@ def _wall_time_summary(result: ExperimentResult) -> str:
     return "  ".join(parts)
 
 
-def _cmd_list(args: argparse.Namespace) -> int:
+# ---------------------------------------------------------------------------
+# service subcommands: serve, submit, jobs, migrate-archive
+# ---------------------------------------------------------------------------
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.api import ExperimentService
+
+    if args.queue_size < 1:
+        print(f"error: --queue-size must be >= 1, got {args.queue_size}",
+              file=sys.stderr)
+        return 2
+    if args.jobs is not None and args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}",
+              file=sys.stderr)
+        return 2
+    service = ExperimentService(
+        args.store, host=args.host, port=args.port,
+        queue_size=args.queue_size, jobs=args.jobs, verbose=args.verbose,
+    )
+    print(f"serving experiments on {service.url} "
+          f"(store: {service.store.path}, queue: {args.queue_size}"
+          + (f", jobs: {args.jobs}" if args.jobs else "") + ")",
+          file=sys.stderr)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    spec = get_experiment(args.name)
+    try:
+        raw = _parse_overrides(args.overrides)
+        if args.trials is not None and "trials" in raw:
+            raise _OverrideError(
+                "conflicting --trials and --set trials=...; pick one"
+            )
+        if args.trials is not None:
+            raw["trials"] = str(args.trials)
+        overrides = _coerce_overrides(spec, raw)
+        spec.options_cls(**overrides)  # validate before the network hop
+    except (_OverrideError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    client = ServiceClient(args.url)
+    try:
+        submission = client.submit(spec.name, overrides)
+        if submission.get("cached"):
+            print(f"cache hit: result {submission['key']} served from "
+                  "the store (no execution)", file=sys.stderr)
+        else:
+            print(f"submitted job {submission['id']} "
+                  f"(key {submission['key']})", file=sys.stderr)
+        if args.no_wait:
+            print(json.dumps(submission, indent=2))
+            return 0
+        terminal = client.wait(submission, timeout_s=args.timeout)
+        if terminal.get("id") is not None:
+            wall = terminal.get("run_wall_s")
+            note = "served from cache" if terminal.get("cached") else (
+                f"ran in {wall:.2f}s" if wall is not None else "ran"
+            )
+            print(f"job {terminal['id']}: {note}", file=sys.stderr)
+        doc = client.result(terminal["key"])
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3 if exc.status == 429 else 1
+    except TimeoutError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    result = ExperimentResult.from_json_dict(doc)
+    _emit_result(result, args.fmt, None)
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        jobs = ServiceClient(args.url).jobs()
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     if args.as_json:
+        print(json.dumps({"jobs": jobs}, indent=2))
+        return 0
+    table = Table(
+        headers=["id", "experiment", "state", "cached", "key",
+                 "queue wait (s)", "run wall (s)"],
+        title=f"jobs at {args.url}", floatfmt=".3g",
+    )
+    for job in jobs:
+        table.add_row(job["id"], job["experiment"], job["state"],
+                      job["cached"], job["key"],
+                      job.get("queue_wait_s"), job.get("run_wall_s"))
+    print(table.render())
+    return 0
+
+
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    from repro.service.store import ResultStore
+
+    if not args.tree.is_dir():
+        print(f"error: {args.tree} is not a directory", file=sys.stderr)
+        return 2
+    target = args.store if args.store is not None else None
+    with (ResultStore(target) if target is not None
+          else ResultStore.for_dir(args.tree)) as store:
+        report = store.import_tree(args.tree)
+        print(f"migrated {args.tree} -> {store.path}: {report.summary()}")
+        for name in report.corrupt_files:
+            print(f"  corrupt: {name}", file=sys.stderr)
+    return 0
+
+
+def _store_listing(store_path: Path) -> dict[str, Any] | None:
+    """``repro list``'s store stanza (``None`` when nothing usable)."""
+    from repro.service.store import ResultStore, locate_store
+
+    db = locate_store(store_path)
+    if db is None or not db.is_file():
+        return None
+    with ResultStore(db) as store:
+        return store.stats()
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    store_stats = None
+    store_path = args.store or os.environ.get("REPRO_STORE")
+    if store_path:
+        store_stats = _store_listing(Path(store_path))
+        if store_stats is None:
+            print(f"note: no result store at {store_path}",
+                  file=sys.stderr)
+    if args.as_json:
+        cached = (store_stats or {}).get("by_experiment", {})
         listing = {
             "strategies": list(STRATEGY_NAMES),
             "workloads": list(workloads.WORKLOADS),
@@ -391,10 +613,16 @@ def _cmd_list(args: argparse.Namespace) -> int:
                         dataclasses.asdict(spec.default_options()),
                         default=str,
                     )),
+                    **(
+                        {"cached_results": cached.get(spec.name, 0)}
+                        if store_stats is not None else {}
+                    ),
                 }
                 for spec in iter_experiments()
             ],
         }
+        if store_stats is not None:
+            listing["store"] = store_stats
         print(json.dumps(listing, indent=2))
         return 0
     print("strategies:")
@@ -404,18 +632,32 @@ def _cmd_list(args: argparse.Namespace) -> int:
     for name in workloads.WORKLOADS:
         print(f"  {name}")
     print("\nexperiments:")
+    cached = (store_stats or {}).get("by_experiment", {})
     for spec in iter_experiments():
-        print(f"  {spec.name:<4} {spec.title} ({spec.claim})")
+        note = ""
+        if store_stats is not None:
+            note = f"  [{cached.get(spec.name, 0)} cached]"
+        print(f"  {spec.name:<4} {spec.title} ({spec.claim}){note}")
+    if store_stats is not None:
+        print(f"\nstore: {store_stats['path']} "
+              f"({store_stats['results']} results)")
     return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "experiment": _cmd_experiment,
+    "list": _cmd_list,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
+    "migrate-archive": _cmd_migrate,
+}
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "experiment":
-        return _cmd_experiment(args)
-    return _cmd_list(args)
+    return _COMMANDS[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

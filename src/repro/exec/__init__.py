@@ -14,7 +14,9 @@ One sharded, multi-core backend behind every fastpath front door:
 * :mod:`repro.exec.reducers` — shard-order merge of struct-of-arrays
   batch results.
 * :mod:`repro.exec.pool` — the process-pool primitive shared by the
-  ``process`` tier and the parallel backend.
+  ``process`` tier and the parallel backend, plus the parked warm pool
+  reused across runs (and across the experiment service's jobs;
+  ``prewarm``/``warm_pool_stats``).
 * :mod:`repro.exec.chaos` — deterministic fault injection (worker
   kills, shard delays, torn archive writes) exercising the recovery
   paths above; see DESIGN.md §10 for the fault-tolerance contract.
@@ -54,7 +56,10 @@ from repro.exec.pool import (
     available_cpus,
     default_workers,
     mp_context,
+    prewarm,
     run_trials,
+    shutdown_warm_pool,
+    warm_pool_stats,
 )
 from repro.exec.reducers import ShardReducer, merge_shards, merge_stubs
 from repro.exec.shm import shm_enabled
@@ -85,6 +90,7 @@ __all__ = [
     "mp_context",
     "parse_max_retries",
     "parse_shard_timeout",
+    "prewarm",
     "resolve_backend",
     "resolve_engine",
     "run_plan",
@@ -92,4 +98,6 @@ __all__ = [
     "set_fault_policy",
     "shard_size_hint",
     "shm_enabled",
+    "shutdown_warm_pool",
+    "warm_pool_stats",
 ]

@@ -52,7 +52,6 @@ this stays tested.
 
 from __future__ import annotations
 
-import atexit
 import math
 import os
 import pickle
@@ -76,7 +75,15 @@ from repro.exec import shm as shm_transport
 from repro.core.defenses import Defenses
 from repro.core.protocol import ProtocolConfig, run_protocol
 from repro.exec.plan import BATCH_ENGINES, ExecutionPlan, shard_size_hint
-from repro.exec.pool import default_workers, mp_context, run_trials
+from repro.exec.pool import (
+    _new_pool,
+    acquire_pool as _acquire_pool,
+    default_workers,
+    kill_pool as _kill_pool,
+    mp_context,
+    release_pool as _release_pool,
+    run_trials,
+)
 from repro.exec.reducers import merge_shards, merge_stubs
 from repro.extensions.async_gossip import (
     AsyncBatchResult,
@@ -649,72 +656,12 @@ def _compute_shard_shm(
     return shm_transport.scalar_stub(result)
 
 
-def _kill_pool(pool: ProcessPoolExecutor) -> None:
-    """Tear a pool down without waiting on hung or dying workers."""
-    processes = getattr(pool, "_processes", None) or {}
-    for proc in list(processes.values()):
-        try:
-            proc.kill()
-        except Exception:  # racing a worker that already exited
-            pass
-    try:
-        pool.shutdown(wait=False, cancel_futures=True)
-    except Exception:
-        pass
-
-
 # ---------------------------------------------------------------------------
-# Warm pool: one forkserver-backed pool reused across plan executions
+# Warm pool: parked and reused across plan executions.  The park/
+# acquire machinery lives in repro.exec.pool (it is shared state: the
+# experiment service's daemon prewarms and reuses the same pool across
+# jobs); this backend only acquires, releases and kills pools.
 # ---------------------------------------------------------------------------
-#
-# Pool start-up used to be paid per run_plan call (and the old fork
-# context re-imported nothing but re-initialised everything).  With the
-# forkserver context (numpy preloaded, see repro.exec.pool.mp_context)
-# the first pool is the only expensive one — after a healthy run the
-# pool parks here and the next run of the same width reuses its warm
-# workers.  Faulted runs never park a pool: breakage or a hung worker
-# always replaces it with a fresh one mid-run, and the replacement only
-# parks after it finishes a run cleanly.
-
-_warm_pool: ProcessPoolExecutor | None = None
-_warm_workers = 0
-
-
-def _new_pool(workers: int) -> ProcessPoolExecutor:
-    return ProcessPoolExecutor(max_workers=workers, mp_context=mp_context())
-
-
-def _acquire_pool(workers: int) -> ProcessPoolExecutor:
-    global _warm_pool, _warm_workers
-    pool, width = _warm_pool, _warm_workers
-    _warm_pool = None
-    if pool is not None:
-        if width == workers and not getattr(pool, "_broken", False):
-            return pool
-        _kill_pool(pool)
-    return _new_pool(workers)
-
-
-def _release_pool(pool: ProcessPoolExecutor, workers: int) -> None:
-    global _warm_pool, _warm_workers
-    if getattr(pool, "_broken", False):
-        _kill_pool(pool)
-        return
-    if _warm_pool is not None:  # another pool parked meanwhile
-        pool.shutdown(wait=False, cancel_futures=True)
-        return
-    _warm_pool, _warm_workers = pool, workers
-
-
-def _shutdown_warm_pool() -> None:
-    """Drop the parked pool (atexit, and the tests' reset hook)."""
-    global _warm_pool
-    pool, _warm_pool = _warm_pool, None
-    if pool is not None:
-        _kill_pool(pool)
-
-
-atexit.register(_shutdown_warm_pool)
 
 
 def _run_parallel(

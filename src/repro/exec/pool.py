@@ -14,12 +14,25 @@ task per trial *shard*, :mod:`repro.exec.backends`).
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
-__all__ = ["available_cpus", "default_workers", "mp_context", "run_trials"]
+__all__ = [
+    "acquire_pool",
+    "available_cpus",
+    "default_workers",
+    "kill_pool",
+    "mp_context",
+    "prewarm",
+    "release_pool",
+    "run_trials",
+    "shutdown_warm_pool",
+    "warm_pool_stats",
+]
 
 T = TypeVar("T")
 A = TypeVar("A")
@@ -104,6 +117,124 @@ def mp_context() -> multiprocessing.context.BaseContext:
             ctx = multiprocessing.get_context()
         _mp_context = ctx
     return _mp_context
+
+
+# ---------------------------------------------------------------------------
+# Warm pool: one forkserver-backed pool shared across plan executions
+# ---------------------------------------------------------------------------
+#
+# Pool start-up used to be paid per run_plan call (and the old fork
+# context re-imported nothing but re-initialised everything).  With the
+# forkserver context (numpy preloaded, see mp_context) the first pool
+# is the only expensive one — after a healthy run the pool parks here
+# and the next run of the same width reuses its warm workers.  Faulted
+# runs never park a pool: breakage or a hung worker always replaces it
+# with a fresh one mid-run, and the replacement only parks after it
+# finishes a run cleanly.
+#
+# This is also the experiment service's pool-sharing point: a daemon
+# serving many jobs from one process keeps exactly one parked pool
+# between jobs (repro.service.daemon), and prewarm() lets it pay the
+# spawn cost at start-up instead of on the first submission.
+
+_warm_pool: ProcessPoolExecutor | None = None
+_warm_workers = 0
+_warm_lock = threading.Lock()
+_pool_counters = {"acquires": 0, "warm_hits": 0, "prewarmed": 0}
+
+
+def kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without waiting on hung or dying workers."""
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.kill()
+        except Exception:  # racing a worker that already exited
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+
+
+def _new_pool(workers: int) -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(max_workers=workers, mp_context=mp_context())
+
+
+def acquire_pool(workers: int) -> ProcessPoolExecutor:
+    """A pool of ``workers`` processes — the parked warm one if it fits."""
+    global _warm_pool, _warm_workers
+    with _warm_lock:
+        pool, width = _warm_pool, _warm_workers
+        _warm_pool = None
+        _pool_counters["acquires"] += 1
+        if pool is not None and width == workers and \
+                not getattr(pool, "_broken", False):
+            _pool_counters["warm_hits"] += 1
+            return pool
+    if pool is not None:
+        kill_pool(pool)
+    return _new_pool(workers)
+
+
+def release_pool(pool: ProcessPoolExecutor, workers: int) -> None:
+    """Park a healthy pool for the next acquirer; drop broken ones."""
+    global _warm_pool, _warm_workers
+    if getattr(pool, "_broken", False):
+        kill_pool(pool)
+        return
+    with _warm_lock:
+        if _warm_pool is None:
+            _warm_pool, _warm_workers = pool, workers
+            return
+    # another pool parked meanwhile
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def prewarm(workers: int | None = None) -> int:
+    """Park a freshly spawned pool of ``workers`` ahead of first use.
+
+    Idempotent: an already-parked pool of the right width is kept.  A
+    parked pool of a *different* width is replaced (the next acquirer
+    would kill it anyway).  Returns the parked width.
+    """
+    workers = default_workers() if workers is None else int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    global _warm_pool, _warm_workers
+    with _warm_lock:
+        if _warm_pool is not None and _warm_workers == workers and \
+                not getattr(_warm_pool, "_broken", False):
+            return workers
+        stale, _warm_pool = _warm_pool, None
+    if stale is not None:
+        kill_pool(stale)
+    pool = _new_pool(workers)
+    _pool_counters["prewarmed"] += 1
+    release_pool(pool, workers)
+    return workers
+
+
+def shutdown_warm_pool() -> None:
+    """Drop the parked pool (atexit, and the tests' reset hook)."""
+    global _warm_pool
+    with _warm_lock:
+        pool, _warm_pool = _warm_pool, None
+    if pool is not None:
+        kill_pool(pool)
+
+
+def warm_pool_stats() -> dict[str, object]:
+    """Observability for pool sharing (served by ``GET /stats``)."""
+    with _warm_lock:
+        return {
+            "parked": _warm_pool is not None,
+            "workers": _warm_workers if _warm_pool is not None else 0,
+            **_pool_counters,
+        }
+
+
+atexit.register(shutdown_warm_pool)
 
 
 def run_trials(

@@ -512,13 +512,26 @@ def find_result(
 ) -> ExperimentResult | None:
     """The saved result of an (experiment, options) cell, if present.
 
-    This is the resume primitive: compute the content-hash key, look for
-    its JSON file, and load it instead of re-running.  Returns ``None``
+    This is the resume primitive: compute the content-hash key and load
+    the stored cell instead of re-running.  When ``out_dir`` is (or
+    contains) a :class:`repro.service.store.ResultStore` database, the
+    store answers first; otherwise — and on a store miss — the loose
+    ``<experiment>-<key>.json`` file is consulted.  Returns ``None``
     when the cell has not been computed (or was saved elsewhere); a
     file that exists but cannot be parsed raises — resume paths decide
     whether to quarantine it (:meth:`repro.study.Study.run` does).
     """
-    path = result_path(out_dir, experiment, options)
+    key = result_key(experiment, options)
+    from repro.service.store import find_stored  # deferred: no sqlite cost
+                                                 # on the loose-JSON path
+
+    stored = find_stored(out_dir, key)
+    if stored is not None:
+        return stored
+    path = Path(out_dir)
+    if path.suffix.lower() in (".sqlite3", ".sqlite", ".db"):
+        return None  # configured as a database: no loose-file fallback
+    path = path / f"{experiment}-{key}.json"
     if not path.is_file():
         return None
     return load_result(path)

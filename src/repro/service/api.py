@@ -1,0 +1,285 @@
+"""The HTTP front door: a stdlib JSON API over store + queue + daemon.
+
+Routes (all JSON)::
+
+    POST /jobs            {"experiment": "e1", "options": {...}}
+        -> 200 {"status": "done", "cached": true, ...}   store hit
+        -> 202 {"status": "queued"|"running", "id": ...}  queued/coalesced
+        -> 400 bad experiment/options, 429 queue full
+    GET  /jobs            every known job, oldest first
+    GET  /jobs/<id>       one job's state + telemetry (404 unknown)
+    GET  /results/<key>   the stored result document (404 unknown)
+    GET  /healthz         {"ok": true, ...} liveness probe
+    GET  /stats           store + queue + daemon + warm-pool counters
+
+Dedup contract: ``POST /jobs`` computes the submission's content-hash
+``result_key`` from the fully-resolved options, answers **immediately
+from the store** on a hit (no job is created), and otherwise enqueues —
+where an in-flight job with the same key coalesces the submission
+(DESIGN.md §11).  Execution-only fields (``jobs``) never enter the key.
+
+:class:`ExperimentService` wires the four layers together and runs the
+server on a ``ThreadingHTTPServer`` (one handler thread per client, a
+single daemon worker draining the queue); it is what ``repro serve``,
+the tests and the load benchmark all drive.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.exec.backends import FaultPolicy
+from repro.experiments.registry import get_experiment, options_dict
+from repro.results import result_key
+from repro.service.daemon import Daemon
+from repro.service.queue import JobQueue, QueueFull
+from repro.service.store import ResultStore
+
+__all__ = ["ExperimentService"]
+
+
+class _BadRequest(ValueError):
+    """A submission the service refuses (HTTP 400)."""
+
+
+def _resolve_submission(body: Mapping[str, Any]) -> tuple[str, dict, str]:
+    """Validate a POST /jobs body -> (experiment, options, result_key).
+
+    ``options`` holds field overrides applied over the experiment's
+    defaults (exactly the CLI's ``--set`` semantics); the key is
+    computed from the fully-resolved options so a service-run cell and
+    a locally-run one share their identity.
+    """
+    if not isinstance(body, Mapping):
+        raise _BadRequest("request body must be a JSON object")
+    name = body.get("experiment")
+    if not isinstance(name, str) or not name:
+        raise _BadRequest("missing required field 'experiment'")
+    try:
+        spec = get_experiment(name)
+    except KeyError as exc:
+        raise _BadRequest(str(exc.args[0])) from None
+    overrides = body.get("options") or {}
+    if not isinstance(overrides, Mapping):
+        raise _BadRequest("'options' must be a JSON object of field "
+                          "overrides")
+    valid = {f.name for f in spec.option_fields()}
+    unknown = sorted(set(overrides) - valid)
+    if unknown:
+        raise _BadRequest(
+            f"unknown option field(s) {unknown} for {spec.name}; "
+            f"valid fields: {sorted(valid)}"
+        )
+    # JSON arrays arrive as lists where the dataclasses hold tuples;
+    # canonical_json treats them identically, so the key is stable.
+    try:
+        opts = spec.options_cls(**dict(overrides))
+    except (TypeError, ValueError) as exc:
+        raise _BadRequest(
+            f"cannot build {spec.options_cls.__name__}: {exc}"
+        ) from None
+    return spec.name, dict(overrides), result_key(spec.name,
+                                                  options_dict(opts))
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; the service instance rides on the server object."""
+
+    server_version = "repro-service"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> "ExperimentService":
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        if self.service.verbose:
+            super().log_message(fmt, *args)
+
+    def _reply(self, status: int, doc: Any) -> None:
+        data = (json.dumps(doc) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        svc = self.service
+        path = self.path.rstrip("/") or "/"
+        if path == "/healthz":
+            self._reply(200, {"ok": True, "uptime_s": svc.uptime_s()})
+        elif path == "/stats":
+            self._reply(200, svc.stats())
+        elif path == "/jobs":
+            self._reply(200, {"jobs": [j.to_json_dict()
+                                       for j in svc.queue.jobs()]})
+        elif path.startswith("/jobs/"):
+            job = svc.queue.get(path[len("/jobs/"):])
+            if job is None:
+                self._reply(404, {"error": "unknown job id"})
+            else:
+                self._reply(200, job.to_json_dict())
+        elif path.startswith("/results/"):
+            doc = svc.store.get_document(path[len("/results/"):])
+            if doc is None:
+                self._reply(404, {"error": "unknown result key"})
+            else:
+                self._reply(200, doc)
+        else:
+            self._reply(404, {"error": f"no route {path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        svc = self.service
+        if self.path.rstrip("/") != "/jobs":
+            self._reply(404, {"error": f"no route {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            body = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, TypeError):
+            self._reply(400, {"error": "request body is not valid JSON"})
+            return
+        try:
+            status, doc = svc.submit(body)
+        except _BadRequest as exc:
+            self._reply(400, {"error": str(exc)})
+            return
+        except QueueFull as exc:
+            self._reply(429, {"error": str(exc),
+                              "queue": svc.queue.stats()})
+            return
+        self._reply(status, doc)
+
+
+class _Server(ThreadingHTTPServer):
+    """One handler thread per client; sized for concurrent load.
+
+    ``socketserver``'s default listen backlog of 5 drops (resets)
+    connections when more clients connect at once than the accept loop
+    has drained — the load benchmark's 16 pollers hit that immediately.
+    """
+
+    daemon_threads = True
+    request_queue_size = 128
+
+
+class ExperimentService:
+    """Store + queue + daemon + HTTP server, wired and lifecycle-managed.
+
+    Parameters
+    ----------
+    store:
+        A :class:`ResultStore`, or a path to create/open one.
+    host / port:
+        Bind address; ``port=0`` picks a free port (tests, benchmark).
+    queue_size:
+        Pending-queue bound (the 429 threshold).
+    jobs / policy:
+        Passed to the :class:`Daemon` (plan-backend workers per
+        executed job; fault policy around executions).
+    """
+
+    def __init__(
+        self,
+        store: ResultStore | str | Path,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        queue_size: int = 256,
+        jobs: int | None = None,
+        policy: FaultPolicy | None = None,
+        verbose: bool = False,
+    ):
+        self.store = (
+            store if isinstance(store, ResultStore) else ResultStore(store)
+        )
+        self.queue = JobQueue(maxsize=queue_size)
+        self.daemon = Daemon(self.store, self.queue, jobs=jobs,
+                             policy=policy)
+        self.verbose = verbose
+        self._httpd = _Server((host, port), _Handler)
+        self._httpd.service = self  # type: ignore[attr-defined]
+        self._server_thread: threading.Thread | None = None
+        self._started_unix: float | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def uptime_s(self) -> float:
+        if self._started_unix is None:
+            return 0.0
+        return time.time() - self._started_unix
+
+    def start(self) -> "ExperimentService":
+        """Start the daemon and the HTTP server (both in threads)."""
+        self._started_unix = time.time()
+        self.daemon.start()
+        self._server_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-http",
+            daemon=True,
+        )
+        self._server_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Blocking variant for ``repro serve`` (Ctrl-C to stop)."""
+        self._started_unix = time.time()
+        self.daemon.start()
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self.daemon.stop()
+        self.store.close()
+
+    def __enter__(self) -> "ExperimentService":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # -- request logic ------------------------------------------------------
+
+    def submit(self, body: Mapping[str, Any]) -> tuple[int, dict[str, Any]]:
+        """The POST /jobs decision: store hit, coalesce, or enqueue."""
+        experiment, overrides, key = _resolve_submission(body)
+        if key in self.store:
+            # Dedup hit: answer from the store, no job, no execution.
+            return 200, {
+                "status": "done", "cached": True, "key": key,
+                "experiment": experiment, "id": None,
+            }
+        job, created = self.queue.submit(experiment, overrides, key)
+        return 202, {
+            "status": job.state, "cached": False, "key": key,
+            "experiment": experiment, "id": job.id, "created": created,
+        }
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "uptime_s": self.uptime_s(),
+            "store": self.store.stats(),
+            "queue": self.queue.stats(),
+            "daemon": self.daemon.stats(),
+        }

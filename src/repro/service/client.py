@@ -1,0 +1,136 @@
+"""The service's HTTP client (stdlib ``urllib``; no dependencies).
+
+:class:`ServiceClient` speaks the JSON API of
+:mod:`repro.service.api`: submit a job, poll it to completion, fetch
+the stored result document.  ``repro submit`` / ``repro jobs`` are
+thin CLI skins over it; tests and the load benchmark drive it
+directly.
+
+Every non-2xx response raises :class:`ServiceError` carrying the HTTP
+status and the server's error message — callers can branch on
+``err.status == 429`` for backpressure retries.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Mapping
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx service response (``status`` holds the HTTP code)."""
+
+    def __init__(self, status: int, message: str):
+        self.status = status
+        super().__init__(f"HTTP {status}: {message}")
+
+
+class ServiceClient:
+    """A client for one service endpoint, e.g. ``http://127.0.0.1:8765``."""
+
+    def __init__(self, url: str, *, timeout_s: float = 30.0):
+        self.url = url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- transport ----------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Mapping[str, Any] | None = None) -> dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(dict(body)).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            f"{self.url}{path}", data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get(
+                    "error", exc.reason
+                )
+            except (ValueError, AttributeError):
+                message = str(exc.reason)
+            raise ServiceError(exc.code, message) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                0, f"cannot reach {self.url}: {exc.reason}"
+            ) from None
+
+    # -- API calls ----------------------------------------------------------
+
+    def submit(self, experiment: str,
+               options: Mapping[str, Any] | None = None) -> dict[str, Any]:
+        """POST /jobs; returns the submission document.
+
+        ``status == "done"`` with ``cached: true`` means the store
+        answered without creating a job; otherwise ``id`` names the
+        (possibly coalesced) job to poll.
+        """
+        return self._request("POST", "/jobs", {
+            "experiment": experiment, "options": dict(options or {}),
+        })
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def result(self, key: str) -> dict[str, Any]:
+        """GET /results/<key> — the full stored result document."""
+        return self._request("GET", f"/results/{key}")
+
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    # -- conveniences -------------------------------------------------------
+
+    def wait(self, submission: Mapping[str, Any], *,
+             timeout_s: float = 300.0,
+             poll_s: float = 0.05) -> dict[str, Any]:
+        """Poll a :meth:`submit` response until terminal; return the job.
+
+        A store-served submission (``status == "done"``, no job id) is
+        returned as-is.  Raises :class:`ServiceError` on a failed job
+        or ``TimeoutError`` past ``timeout_s``.
+        """
+        if submission.get("id") is None:
+            return dict(submission)
+        deadline = time.monotonic() + timeout_s
+        pause = poll_s
+        while True:
+            job = self.job(submission["id"])
+            if job["state"] == "done":
+                return job
+            if job["state"] == "failed":
+                raise ServiceError(500, f"job {job['id']} failed: "
+                                        f"{job.get('error')}")
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job['id']} still {job['state']} after "
+                    f"{timeout_s:.0f}s"
+                )
+            time.sleep(pause)
+            pause = min(pause * 1.5, 1.0)
+
+    def submit_and_fetch(
+        self, experiment: str,
+        options: Mapping[str, Any] | None = None, *,
+        timeout_s: float = 300.0,
+    ) -> tuple[dict[str, Any], dict[str, Any]]:
+        """Submit, wait, fetch: returns ``(terminal_status, document)``."""
+        submission = self.submit(experiment, options)
+        terminal = self.wait(submission, timeout_s=timeout_s)
+        return terminal, self.result(terminal["key"])

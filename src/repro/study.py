@@ -126,26 +126,60 @@ class StudyJournal:
         return cls(Path(out_dir) / f"{experiment}-study.journal.jsonl")
 
     def append(self, event: Mapping[str, Any]) -> None:
-        with self.path.open("a") as fh:
-            fh.write(json.dumps(dict(event), sort_keys=True) + "\n")
+        heal = b""
+        if self.path.is_file() and self.path.stat().st_size > 0:
+            # A SIGKILL mid-append leaves a torn final line with no
+            # newline; starting the next event on a fresh line keeps
+            # the tear confined to its own (skippable) line instead of
+            # fusing it with this append.
+            with self.path.open("rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                if fh.read(1) != b"\n":
+                    heal = b"\n"
+        with self.path.open("ab") as fh:
+            fh.write(heal + (json.dumps(dict(event), sort_keys=True)
+                             + "\n").encode("utf-8"))
             fh.flush()
             os.fsync(fh.fileno())
 
+    def compact(self, summary: Mapping[str, Any]) -> None:
+        """Fold the journal into one ``compacted`` line (atomically).
+
+        Called after a study completes and its manifest — which now
+        carries the journal's summary — has published: the append-only
+        event log has served its recovery purpose, and truncating it
+        here keeps repeatedly-resumed studies from replaying an
+        unboundedly growing journal.  The single surviving line records
+        that compaction happened (and when, via the manifest), so a
+        later reader sees an explicit marker rather than a bare file.
+        """
+        atomic_write_text(
+            self.path,
+            json.dumps({"event": "compacted", **dict(summary)},
+                       sort_keys=True) + "\n",
+        )
+
     def events(self) -> list[dict[str, Any]]:
-        """Every parseable event; a truncated last line is skipped."""
+        """Every parseable event; torn lines are skipped.
+
+        Each line is a self-contained event, so an unparseable line can
+        only be an append torn by a crash — usually the trailing line,
+        but after a resume (which heals onto a fresh line and keeps
+        appending) a tear survives mid-file.  Either way the recovery
+        story is the same: the cell archives are the source of truth,
+        the journal only narrates, so a torn narration line is dropped
+        rather than raised on.
+        """
         if not self.path.is_file():
             return []
         out: list[dict[str, Any]] = []
-        lines = self.path.read_text().split("\n")
-        for i, line in enumerate(lines):
+        for line in self.path.read_text().split("\n"):
             if not line.strip():
                 continue
             try:
                 out.append(json.loads(line))
             except json.JSONDecodeError:
-                if i < len(lines) - 2:
-                    # Only the final (possibly torn) line may be bad.
-                    raise
+                continue
         return out
 
     def done_keys(self) -> set[str]:
@@ -322,9 +356,20 @@ class Study:
         cached archive that fails to load (truncated or corrupt JSON)
         is quarantined to ``<name>.corrupt`` and its cell recomputed —
         byte-identically, thanks to deterministic per-cell seeds —
-        instead of crashing the sweep.
+        instead of crashing the sweep.  On successful completion the
+        journal is folded into the manifest (a ``journal`` summary
+        block) and truncated, so repeatedly-resumed studies never
+        replay an unbounded event log.
+
+        ``out_dir`` may also be — or contain — a
+        :class:`repro.service.store.ResultStore` database (a
+        ``.sqlite3`` path, or a directory holding
+        ``repro-store.sqlite3``): cells then load from and save to the
+        store instead of loose JSON files, with the loose path kept as
+        a read fallback for mixed archives.
         """
         from repro import __version__
+        from repro.service.store import ResultStore, locate_store
 
         done: list[StudyCell] = []
         quarantined: list[str] = []
@@ -333,9 +378,17 @@ class Study:
             and any(f.name == "jobs" for f in self.spec.option_fields())
         )
         journal = None
+        store: ResultStore | None = None
+        archive_dir: Path | None = None
         if out_dir is not None:
-            Path(out_dir).mkdir(parents=True, exist_ok=True)
-            journal = StudyJournal.for_study(out_dir, self.spec.name)
+            db = locate_store(out_dir)
+            if db is not None:
+                store = ResultStore(db)
+                archive_dir = db.parent
+            else:
+                archive_dir = Path(out_dir)
+            archive_dir.mkdir(parents=True, exist_ok=True)
+            journal = StudyJournal.for_study(archive_dir, self.spec.name)
             if not resume:
                 journal.reset()
             journal.append({
@@ -346,50 +399,77 @@ class Study:
                          for k, vs in self.grid.items()},
                 "version": __version__,
             })
-        for cell in self.cells():
-            result, cached, recovered = None, False, False
-            if out_dir is not None and resume:
-                result, recovered = self._load_cached(out_dir, cell,
-                                                      journal, quarantined)
-                if result is not None and result.meta.version != __version__:
-                    result = None
-                cached = result is not None
-            if result is None:
-                run_opts = cell.options
-                if jobs_field:
-                    run_opts = dataclasses.replace(run_opts, jobs=jobs)
-                result = self.spec.run(run_opts)
-                if out_dir is not None and save:
-                    save_result(result, out_dir)
-            if journal is not None:
-                journal.append({
-                    "event": "cell",
-                    "key": cell.key,
-                    "status": "done",
-                    "cached": cached,
-                    "recovered": recovered,
-                })
-            cell = dataclasses.replace(cell, result=result, cached=cached,
-                                       recovered=recovered)
-            done.append(cell)
-            if progress is not None:
-                progress(cell)
-        study_result = StudyResult(
-            experiment=self.spec.name, cells=tuple(done),
-            quarantined=tuple(quarantined),
-        )
-        if out_dir is not None and save:
-            atomic_write_text(
-                Path(out_dir) / f"{self.spec.name}-study.manifest.json",
-                json.dumps(study_result.manifest(), indent=2) + "\n",
+        try:
+            for cell in self.cells():
+                result, cached, recovered = None, False, False
+                if out_dir is not None and resume:
+                    result, recovered = self._load_cached(
+                        archive_dir, store, cell, journal, quarantined
+                    )
+                    if result is not None and \
+                            result.meta.version != __version__:
+                        result = None
+                    cached = result is not None
+                if result is None:
+                    run_opts = cell.options
+                    if jobs_field:
+                        run_opts = dataclasses.replace(run_opts, jobs=jobs)
+                    result = self.spec.run(run_opts)
+                    if out_dir is not None and save:
+                        if store is not None:
+                            store.put(result)
+                        else:
+                            save_result(result, out_dir)
+                if journal is not None:
+                    journal.append({
+                        "event": "cell",
+                        "key": cell.key,
+                        "status": "done",
+                        "cached": cached,
+                        "recovered": recovered,
+                    })
+                cell = dataclasses.replace(cell, result=result,
+                                           cached=cached,
+                                           recovered=recovered)
+                done.append(cell)
+                if progress is not None:
+                    progress(cell)
+            study_result = StudyResult(
+                experiment=self.spec.name, cells=tuple(done),
+                quarantined=tuple(quarantined),
             )
-        if journal is not None:
-            journal.append({"event": "end"})
+            if out_dir is not None and save:
+                manifest = study_result.manifest()
+                if store is not None:
+                    manifest["store"] = str(store.path)
+                if journal is not None:
+                    manifest["journal"] = journal_summary = {
+                        "cells_done": len(done),
+                        "cached": sum(1 for c in done if c.cached),
+                        "quarantined": len(quarantined),
+                        "events": len(journal.events()) + 1,  # incl. end
+                        "compacted": True,
+                    }
+                atomic_write_text(
+                    archive_dir /
+                    f"{self.spec.name}-study.manifest.json",
+                    json.dumps(manifest, indent=2) + "\n",
+                )
+            if journal is not None:
+                journal.append({"event": "end"})
+                if save:
+                    # The manifest now carries the summary; fold the
+                    # event log down to a single compacted marker.
+                    journal.compact(journal_summary)
+        finally:
+            if store is not None:
+                store.close()
         return study_result
 
     def _load_cached(
         self,
         out_dir: str | Path,
+        store: Any,
         cell: StudyCell,
         journal: StudyJournal | None,
         quarantined: list[str],
@@ -400,8 +480,15 @@ class Study:
         the cell must (re)compute, and ``recovered`` is True when a
         corrupt archive was moved aside to ``<name>.corrupt`` — the
         half-written leftovers of a kill mid-write (or a bad disk)
-        must cost one recompute, never the whole sweep.
+        must cost one recompute, never the whole sweep.  A configured
+        :class:`~repro.service.store.ResultStore` answers first
+        (transactional writes make its rows all-or-nothing — no
+        quarantine path needed); loose files remain a read fallback.
         """
+        if store is not None:
+            result = store.get(cell.key)
+            if result is not None:
+                return result, False
         path = result_path(out_dir, self.spec.name, options_dict(cell.options))
         if not path.is_file():
             return None, False

@@ -555,17 +555,45 @@ class TestStudyRecovery:
         assert all(c.cached for c in third.cells)
         assert third.quarantined == ()
 
-    def test_journal_records_progress(self, tmp_path):
-        _tiny_study().run(out_dir=tmp_path)
+    def test_journal_records_progress_then_compacts(self, tmp_path):
         journal = StudyJournal.for_study(tmp_path, "e1")
+        seen: list[list[str]] = []
+        _tiny_study().run(
+            out_dir=tmp_path,
+            progress=lambda cell: seen.append(
+                [e["event"] for e in journal.events()]
+            ),
+        )
+        # Mid-run the journal checkpoints each completed cell...
+        assert seen[0] == ["study", "cell"]
+        assert seen[1] == ["study", "cell", "cell"]
+        # ...and on successful completion it folds into the manifest
+        # and truncates, so resumed studies never replay an unbounded
+        # event log.
         events = journal.events()
-        assert [e["event"] for e in events] == \
-            ["study", "cell", "cell", "end"]
-        assert len(journal.done_keys()) == 2
+        assert [e["event"] for e in events] == ["compacted"]
+        assert events[0]["cells_done"] == 2
+        manifest = json.loads(
+            (tmp_path / "e1-study.manifest.json").read_text()
+        )
+        assert manifest["journal"]["compacted"] is True
+        assert manifest["journal"]["cells_done"] == 2
+        assert manifest["journal"]["quarantined"] == 0
+
+    def test_journal_stays_bounded_across_resumes(self, tmp_path):
+        study = _tiny_study()
+        journal = StudyJournal.for_study(tmp_path, "e1")
+        study.run(out_dir=tmp_path)
+        size = journal.path.stat().st_size
+        for _ in range(3):
+            study.run(out_dir=tmp_path)  # all cells cached
+            assert journal.path.stat().st_size == size
 
     def test_journal_tolerates_torn_last_line(self, tmp_path):
-        _tiny_study().run(out_dir=tmp_path)
         journal = StudyJournal.for_study(tmp_path, "e1")
+        journal.append({"event": "study"})
+        journal.append({"event": "cell", "key": "k1", "status": "done"})
+        journal.append({"event": "cell", "key": "k2", "status": "done"})
         text = journal.path.read_text()
         journal.path.write_text(text[:-9])  # SIGKILL mid-append
         events = journal.events()
@@ -687,9 +715,9 @@ class TestProcessLevelFaults:
         payloads = lambda sr: [c.result.payload_json() for c in sr.cells]
         assert payloads(resumed) == payloads(pristine)
         # The journal survived the kill readable up to the crash point
-        # and now records the completed resume.
+        # and the completed resume compacted it into the manifest.
         assert StudyJournal.for_study(out, "e1").events()[-1]["event"] == \
-            "end"
+            "compacted"
 
     @pytest.mark.slow
     def test_keyboard_interrupt_cancels_in_flight_shards(self):

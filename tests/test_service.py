@@ -1,0 +1,505 @@
+"""The experiment service: store, queue, daemon, HTTP API (DESIGN.md §11).
+
+Layer by layer, then end to end:
+
+* :class:`ResultStore` — put/get round trips, idempotent duplicate
+  puts, the conflict error naming its key, store location rules,
+  legacy-tree import.
+* :class:`JobQueue` — FIFO leasing, 429 backpressure at the bound,
+  in-flight coalescing by ``result_key``, history trimming.
+* :class:`Daemon` — store-first serving, execution, failure isolation.
+* **HTTP end to end** — the byte-fidelity contract: a result computed
+  by the service is payload-identical (meta stripped) to the same
+  options run directly; N concurrent identical submissions execute
+  exactly once (counted with a stub experiment).
+
+Stub experiments register straight into the registry (the decorator's
+``_REGISTRY`` wins over the module table) and are removed again by the
+fixture, so nothing leaks into other tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+
+import pytest
+
+from golden_opts import GOLDEN_OPTS
+from repro.experiments.registry import (
+    _REGISTRY,
+    experiment,
+    options_dict,
+    run_experiment,
+)
+from repro.results import result_key, save_result
+from repro.service import (
+    Daemon,
+    JobQueue,
+    QueueFull,
+    ResultStore,
+    StoreConflictError,
+)
+from repro.service.api import ExperimentService
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.store import STORE_FILENAME, locate_store
+from repro.util.tables import Table
+
+E1_TINY = dict(sizes=(16,), workloads=("balanced",), trials=6, seed=11,
+               parallel=False)
+
+
+def tiny_e1(**overrides):
+    return run_experiment("e1", **{**E1_TINY, **overrides})
+
+
+# ---------------------------------------------------------------------------
+# Stub experiments: counted execution, controllable duration/failure
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StubOptions:
+    trials: int = 2
+    seed: int = 0
+    sleep_s: float = 0.0
+    fail: bool = False
+
+
+class _Counter:
+    """Thread-safe execution counter shared with the daemon thread."""
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.runs = 0
+        self.release = threading.Event()
+        self.release.set()
+
+    def hit(self) -> int:
+        with self.lock:
+            self.runs += 1
+            return self.runs
+
+
+@pytest.fixture
+def stub():
+    """Register a counted stub experiment; unregister afterwards."""
+    counter = _Counter()
+
+    @experiment("zz_stub", options=StubOptions, title="stub", claim="none")
+    def _run(opts: StubOptions) -> Table:
+        n = counter.hit()
+        if opts.fail:
+            raise RuntimeError("stub asked to fail")
+        if opts.sleep_s:
+            time.sleep(opts.sleep_s)
+        counter.release.wait(5.0)
+        t = Table(headers=["trial", "value"], title="stub")
+        for i in range(opts.trials):
+            t.add_row(i, opts.seed + i)
+        # The run count is *not* part of the payload: identical options
+        # must stay payload-identical however often the stub runs.
+        del n
+        return t
+
+    try:
+        yield counter
+    finally:
+        _REGISTRY.pop("zz_stub", None)
+
+
+def stub_key(**overrides) -> str:
+    return result_key("zz_stub", options_dict(StubOptions(**overrides)))
+
+
+# ---------------------------------------------------------------------------
+# ResultStore
+# ---------------------------------------------------------------------------
+
+class TestResultStore:
+    def test_put_get_round_trip(self, tmp_path):
+        result = tiny_e1()
+        with ResultStore(tmp_path / "s.sqlite3") as store:
+            assert store.put(result) is True
+            assert result.key in store
+            back = store.get(result.key)
+            assert back.payload_json() == result.payload_json()
+            assert back.to_json_dict() == result.to_json_dict()
+            assert store.get_document(result.key) == result.to_json_dict()
+            assert store.get("0" * 16) is None
+
+    def test_duplicate_put_is_idempotent(self, tmp_path):
+        result = tiny_e1()
+        with ResultStore(tmp_path / "s.sqlite3") as store:
+            assert store.put(result) is True
+            assert store.put(result) is False  # identical payload: no-op
+            assert store.stats()["results"] == 1
+
+    def test_conflicting_payload_raises_naming_key(self, tmp_path):
+        result = tiny_e1()
+        rows = result.sections[0].rows
+        tampered = dataclasses.replace(
+            result,
+            sections=(
+                dataclasses.replace(
+                    result.sections[0],
+                    rows=rows[:-1] + ((rows[-1][0], -999.0)
+                                      + rows[-1][2:],),
+                ),
+            ) + result.sections[1:],
+        )
+        assert tampered.key == result.key  # same options, same identity
+        with ResultStore(tmp_path / "s.sqlite3") as store:
+            store.put(result)
+            with pytest.raises(StoreConflictError) as err:
+                store.put(tampered)
+            assert result.key in str(err.value)
+            assert err.value.key == result.key
+            # The original row survived the refused overwrite.
+            assert store.get(result.key).payload_json() \
+                == result.payload_json()
+
+    def test_query_and_stats(self, tmp_path):
+        a, b = tiny_e1(seed=1), tiny_e1(seed=2)
+        with ResultStore(tmp_path / "s.sqlite3") as store:
+            store.put(a)
+            store.put(b)
+            stats = store.stats()
+            assert stats["results"] == 2
+            assert stats["by_experiment"] == {"e1": 2}
+            rows = store.query("e1")
+            assert {r["result_key"] for r in rows} == {a.key, b.key}
+            assert store.query("e9") == []
+            assert set(store.keys()) == {a.key, b.key}
+
+    def test_locate_store(self, tmp_path):
+        db = tmp_path / "x.sqlite3"
+        assert locate_store(db) == db  # a DB path, even before creation
+        assert locate_store(tmp_path) is None  # dir without a store
+        (tmp_path / STORE_FILENAME).touch()
+        assert locate_store(tmp_path) == tmp_path / STORE_FILENAME
+
+    def test_import_tree(self, tmp_path):
+        tree = tmp_path / "loose"
+        a, b = tiny_e1(seed=3), tiny_e1(seed=4)
+        save_result(a, tree)
+        save_result(b, tree / "nested")
+        (tree / "broken.json").write_text("{not json", encoding="utf-8")
+        (tree / "x-study.manifest.json").write_text("{}", encoding="utf-8")
+        with ResultStore(tmp_path / "s.sqlite3") as store:
+            store.put(a)  # one key already held: counted as skipped
+            report = store.import_tree(tree)
+            assert (report.imported, report.skipped, report.corrupt,
+                    report.conflicts) == (1, 1, 1, 0)
+            assert report.corrupt_files == [str(tree / "broken.json")]
+            assert "imported=1" in report.summary()
+            assert store.stats()["results"] == 2
+
+
+# ---------------------------------------------------------------------------
+# JobQueue
+# ---------------------------------------------------------------------------
+
+class TestJobQueue:
+    def test_fifo_lease_order(self):
+        q = JobQueue(maxsize=8)
+        for i in range(3):
+            q.submit("e1", {"seed": i}, f"key{i}")
+        assert [q.lease(0).key for _ in range(3)] \
+            == ["key0", "key1", "key2"]
+        assert q.lease(0) is None
+
+    def test_backpressure_raises_queue_full(self):
+        q = JobQueue(maxsize=2)
+        q.submit("e1", {}, "k1")
+        q.submit("e1", {}, "k2")
+        with pytest.raises(QueueFull):
+            q.submit("e1", {}, "k3")
+        assert q.stats()["rejected"] == 1
+        # Leasing frees a slot; resubmission then succeeds.
+        q.lease(0)
+        job, created = q.submit("e1", {}, "k3")
+        assert created and job.key == "k3"
+
+    def test_inflight_submissions_coalesce_by_key(self):
+        q = JobQueue(maxsize=8)
+        first, created = q.submit("e1", {"seed": 1}, "samekey")
+        assert created
+        second, created = q.submit("e1", {"seed": 1}, "samekey")
+        assert not created and second is first
+        assert first.subscribers == 2
+        assert q.stats()["coalesced"] == 1
+        # Still coalesces while running...
+        leased = q.lease(0)
+        assert leased is first and first.state == "running"
+        third, created = q.submit("e1", {"seed": 1}, "samekey")
+        assert not created and third is first
+        # ...but a finished job no longer absorbs submissions.
+        q.complete(first)
+        assert first.wait(0)
+        fresh, created = q.submit("e1", {"seed": 1}, "samekey")
+        assert created and fresh is not first
+
+    def test_failed_job_records_error(self):
+        q = JobQueue(maxsize=2)
+        job, _ = q.submit("e1", {}, "k")
+        q.lease(0)
+        q.fail(job, "boom")
+        assert job.state == "failed" and job.error == "boom"
+        doc = job.to_json_dict()
+        assert doc["state"] == "failed" and doc["error"] == "boom"
+        assert doc["queue_wait_s"] is not None
+        assert doc["run_wall_s"] is not None
+
+    def test_history_trims_terminal_jobs_only(self):
+        q = JobQueue(maxsize=64, history=4)
+        keep, _ = q.submit("e1", {}, "keep")  # stays queued throughout
+        done_ids = []
+        for i in range(6):
+            job, _ = q.submit("e1", {}, f"k{i}")
+            done_ids.append(job.id)
+            # lease() pops FIFO: drain until this job is the one leased.
+            while (leased := q.lease(0)) is not None:
+                if leased is job:
+                    q.complete(job)
+                    break
+        ids = [j.id for j in q.jobs()]
+        assert keep.id in ids  # queued jobs are never trimmed
+        assert len(ids) <= 5
+        assert q.get(done_ids[0]) is None  # oldest terminal job dropped
+        assert q.get(done_ids[-1]) is not None
+
+
+# ---------------------------------------------------------------------------
+# Daemon
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def service_parts(tmp_path):
+    """Store + queue + daemon, started and reliably stopped."""
+    store = ResultStore(tmp_path / "s.sqlite3")
+    queue = JobQueue(maxsize=16)
+    daemon = Daemon(store, queue, poll_s=0.02)
+    daemon.start()
+    try:
+        yield store, queue, daemon
+    finally:
+        daemon.stop()
+        store.close()
+
+
+class TestDaemon:
+    def test_executes_and_publishes(self, service_parts, stub):
+        store, queue, daemon = service_parts
+        key = stub_key(seed=5)
+        job, _ = queue.submit("zz_stub", {"seed": 5}, key)
+        assert job.wait(10.0)
+        assert job.state == "done" and not job.cached
+        assert stub.runs == 1
+        assert key in store
+        stats = daemon.stats()
+        assert stats["executed"] == 1 and stats["cache_hits"] == 0
+        assert stats["cache_hit_rate"] == 0.0
+
+    def test_store_hit_skips_execution(self, service_parts, stub):
+        store, queue, daemon = service_parts
+        result = run_experiment("zz_stub", seed=7)
+        assert stub.runs == 1
+        store.put(result)
+        job, _ = queue.submit("zz_stub", {"seed": 7}, result.key)
+        assert job.wait(10.0)
+        assert job.state == "done" and job.cached
+        assert stub.runs == 1  # zero additional executions
+        assert daemon.stats()["cache_hits"] == 1
+        assert daemon.stats()["cache_hit_rate"] == 1.0
+
+    def test_failure_is_isolated(self, service_parts, stub):
+        store, queue, daemon = service_parts
+        bad, _ = queue.submit("zz_stub", {"fail": True}, stub_key(fail=True))
+        assert bad.wait(10.0)
+        assert bad.state == "failed"
+        assert "stub asked to fail" in bad.error
+        assert stub_key(fail=True) not in store  # nothing published
+        # The loop survived: the next job still runs.
+        good, _ = queue.submit("zz_stub", {"seed": 9}, stub_key(seed=9))
+        assert good.wait(10.0)
+        assert good.state == "done"
+        assert daemon.stats()["failed"] == 1
+
+
+# ---------------------------------------------------------------------------
+# HTTP end to end
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def service(tmp_path):
+    with ExperimentService(tmp_path / "svc.sqlite3", port=0) as svc:
+        svc.daemon.poll_s = 0.02
+        yield svc
+
+
+def _stripped(doc: dict) -> dict:
+    out = dict(doc)
+    out.pop("meta", None)
+    return out
+
+
+class TestServiceHTTP:
+    def test_health_and_stats(self, service):
+        client = ServiceClient(service.url)
+        assert client.health()["ok"] is True
+        stats = client.stats()
+        assert stats["store"]["results"] == 0
+        assert stats["queue"]["maxsize"] == 256
+        assert stats["daemon"]["running"] is True
+        assert "warm_pool" in stats["daemon"]
+
+    @pytest.mark.parametrize("name", ["e1", "e10"])
+    def test_byte_fidelity_vs_direct_run(self, service, name):
+        """The determinism contract over HTTP (ISSUE acceptance).
+
+        The service-computed document, meta stripped, equals the
+        payload of the same options run directly in this process —
+        e1 (sync sweep) and e10 (graph/async tier) both.
+        """
+        opts = GOLDEN_OPTS[name]
+        client = ServiceClient(service.url)
+        terminal, doc = client.submit_and_fetch(name, opts, timeout_s=300)
+        assert terminal["state" if "state" in terminal else "status"] \
+            == "done"
+        direct = run_experiment(name, **opts)
+        assert json.dumps(_stripped(doc), sort_keys=True) \
+            == json.dumps(_stripped(direct.to_json_dict()), sort_keys=True)
+        assert doc["meta"]["version"] == direct.meta.version
+        # Resubmission: answered from the store, no job, no execution.
+        executed_before = service.daemon.stats()["executed"]
+        again = client.submit(name, opts)
+        assert again["status"] == "done" and again["cached"] is True
+        assert again["id"] is None
+        assert client.result(again["key"]) == doc
+        assert service.daemon.stats()["executed"] == executed_before
+
+    def test_concurrent_identical_submissions_execute_once(
+        self, service, stub
+    ):
+        """N racing submissions of one cell -> exactly one execution."""
+        stub.release.clear()  # hold the execution open mid-race
+        client = ServiceClient(service.url)
+        n = 8
+        replies, errors = [], []
+        barrier = threading.Barrier(n)
+
+        def fire():
+            barrier.wait()
+            try:
+                replies.append(client.submit("zz_stub",
+                                             {"seed": 42, "sleep_s": 0.05}))
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=fire) for _ in range(n)]
+        for t in threads:
+            t.start()
+        # Let the submissions land (and the first start running), then
+        # release the stub and collect.
+        for t in threads:
+            t.join(10.0)
+        stub.release.set()
+        assert not errors
+        assert len(replies) == n
+        ids = {r["id"] for r in replies if r["id"] is not None}
+        assert len(ids) == 1, f"race created {len(ids)} distinct jobs"
+        job_id = ids.pop()
+        done = client.wait({"id": job_id, "key": stub_key(seed=42,
+                                                          sleep_s=0.05)})
+        assert done["state"] == "done"
+        assert done["subscribers"] >= n - len(
+            [r for r in replies if r["id"] is None]
+        )
+        assert stub.runs == 1, f"executed {stub.runs} times, wanted 1"
+        assert service.daemon.stats()["executed"] == 1
+
+    def test_backpressure_replies_429(self, tmp_path, stub):
+        stub.release.clear()  # first job blocks the daemon
+        with ExperimentService(tmp_path / "bp.sqlite3", port=0,
+                               queue_size=1) as svc:
+            svc.daemon.poll_s = 0.02
+            client = ServiceClient(svc.url)
+            running = client.submit("zz_stub", {"seed": 1})
+            # Wait for the daemon to lease it so the pending slot frees.
+            deadline = time.monotonic() + 5
+            while client.job(running["id"])["state"] == "queued":
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            pending = client.submit("zz_stub", {"seed": 2})  # fills 1/1
+            assert pending["status"] == "queued"
+            with pytest.raises(ServiceError) as err:
+                client.submit("zz_stub", {"seed": 3})
+            assert err.value.status == 429
+            assert "retry later" in str(err.value)
+            stub.release.set()
+            assert client.wait(pending)["state"] == "done"
+            # The freed slot accepts the retried submission.
+            retry = client.submit("zz_stub", {"seed": 3})
+            assert retry["status"] in ("queued", "running")
+            client.wait(retry)
+
+    def test_bad_submissions_reply_400(self, service):
+        client = ServiceClient(service.url)
+        cases = [
+            {},                                        # no experiment
+            {"experiment": "nope"},                    # unknown name
+            {"experiment": "e1", "options": {"bogus": 1}},  # bad field
+            {"experiment": "e1", "options": [1, 2]},   # wrong shape
+        ]
+        for body in cases:
+            with pytest.raises(ServiceError) as err:
+                client._request("POST", "/jobs", body)
+            assert err.value.status == 400, body
+        # Unknown option fields name the valid ones.
+        with pytest.raises(ServiceError, match="valid fields"):
+            client.submit("e1", {"bogus": 1})
+        # Malformed JSON body.
+        req = urllib.request.Request(
+            f"{service.url}/jobs", data=b"{oops",
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as raw:
+            urllib.request.urlopen(req, timeout=10)
+        assert raw.value.code == 400
+        # Structurally valid but mis-typed values pass the front door
+        # (dataclasses don't type-check) and surface as a failed job.
+        sub = client.submit("e1", {"trials": "many"})
+        with pytest.raises(ServiceError, match="failed"):
+            client.wait(sub)
+
+    def test_unknown_routes_reply_404(self, service):
+        client = ServiceClient(service.url)
+        for path in ["/jobs/j999999", "/results/deadbeef", "/nope"]:
+            with pytest.raises(ServiceError) as err:
+                client._request("GET", path)
+            assert err.value.status == 404, path
+        with pytest.raises(ServiceError) as err:
+            client._request("POST", "/results/x", {})
+        assert err.value.status == 404
+
+    def test_jobs_listing(self, service, stub):
+        client = ServiceClient(service.url)
+        sub = client.submit("zz_stub", {"seed": 3})
+        client.wait(sub)
+        jobs = client.jobs()
+        assert [j["id"] for j in jobs] == [sub["id"]]
+        assert jobs[0]["state"] == "done"
+        assert jobs[0]["key"] == stub_key(seed=3)
+        assert client.job(sub["id"])["experiment"] == "zz_stub"
+
+    def test_failed_job_raises_on_wait(self, service, stub):
+        client = ServiceClient(service.url)
+        sub = client.submit("zz_stub", {"fail": True})
+        with pytest.raises(ServiceError, match="stub asked to fail"):
+            client.wait(sub)
+        assert service.daemon.stats()["failed"] == 1

@@ -1,0 +1,191 @@
+"""Concurrent writers against one :class:`ResultStore` database.
+
+The store's concurrency contract (DESIGN.md §11): separate *processes*
+writing the same sqlite database all succeed — WAL mode plus a
+``busy_timeout`` queues writers instead of failing them; identical
+payloads under one key are idempotent; a *different* payload under an
+existing key is refused with an error naming the key; and a writer
+SIGKILLed mid-put leaves the store readable (sqlite transactions are
+all-or-nothing).
+
+Writers here are real subprocesses (not threads), synchronised on a
+start-marker file so their write windows genuinely overlap.  Results
+are synthesised cheaply in the children — what's under test is the
+store, not the experiments.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.results import ExperimentResult, ResultSection, build_meta
+from repro.service.store import ResultStore, StoreConflictError
+
+from test_exec_faults import needs_chaos_env
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def synthetic_result(seed: int, value: float = 1.0) -> ExperimentResult:
+    """A tiny result whose key depends on ``seed`` only (not ``value``)."""
+    return ExperimentResult(
+        experiment="zz_conc",
+        options={"seed": seed, "trials": 2},
+        sections=(ResultSection(headers=("trial", "x"),
+                                rows=((0, value), (1, value + seed))),),
+        title="synthetic", claim="store-concurrency fixture",
+        options_type="tests.Synthetic",
+        meta=build_meta(wall_time_s=0.0),
+    )
+
+
+# The writer child: waits for the go-marker, then puts a run of
+# synthetic results.  Prints PUT/DUP counts; exits 3 on a conflict,
+# printing the error so the parent can assert the key is named.
+_WRITER = textwrap.dedent("""
+    import sys, time
+    sys.path.insert(0, {src!r})
+    sys.path.insert(0, {tests!r})
+    from pathlib import Path
+    from repro.service.store import ResultStore, StoreConflictError
+    from test_store_concurrency import synthetic_result
+
+    db, marker, lo, hi, value = (
+        sys.argv[1], sys.argv[2], int(sys.argv[3]), int(sys.argv[4]),
+        float(sys.argv[5]),
+    )
+    store = ResultStore(db)
+    deadline = time.monotonic() + 10
+    while not Path(marker).exists():
+        if time.monotonic() > deadline:
+            sys.exit("writer never released")
+        time.sleep(0.001)
+    new = dup = 0
+    try:
+        for seed in range(lo, hi):
+            if store.put(synthetic_result(seed, value=value)):
+                new += 1
+            else:
+                dup += 1
+    except StoreConflictError as exc:
+        print(f"conflict: {{exc}}", flush=True)
+        sys.exit(3)
+    print(f"new={{new}} dup={{dup}}", flush=True)
+""")
+
+
+def _spawn_writer(db: Path, marker: Path, lo: int, hi: int,
+                  value: float = 1.0) -> subprocess.Popen:
+    code = _WRITER.format(src=SRC, tests=str(Path(__file__).parent))
+    return subprocess.Popen(
+        [sys.executable, "-c", code, str(db), str(marker),
+         str(lo), str(hi), str(value)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+
+
+def _release_and_wait(marker: Path, *writers: subprocess.Popen):
+    marker.touch()
+    outs = []
+    for w in writers:
+        out, err = w.communicate(timeout=60)
+        outs.append((w.returncode, out, err))
+    return outs
+
+
+class TestConcurrentWriters:
+    def test_two_processes_disjoint_keys(self, tmp_path):
+        db, marker = tmp_path / "c.sqlite3", tmp_path / "go"
+        a = _spawn_writer(db, marker, 0, 25)
+        b = _spawn_writer(db, marker, 25, 50)
+        results = _release_and_wait(marker, a, b)
+        for rc, out, err in results:
+            assert rc == 0, err
+            assert "new=25 dup=0" in out
+        with ResultStore(db) as store:
+            assert store.stats()["results"] == 50
+            # Spot-check payload integrity after the contended writes.
+            r7 = store.get(synthetic_result(7).key)
+            assert r7.payload_json() == synthetic_result(7).payload_json()
+
+    def test_two_processes_same_keys_idempotent(self, tmp_path):
+        db, marker = tmp_path / "c.sqlite3", tmp_path / "go"
+        a = _spawn_writer(db, marker, 0, 25)
+        b = _spawn_writer(db, marker, 0, 25)
+        results = _release_and_wait(marker, a, b)
+        new = dup = 0
+        for rc, out, err in results:
+            assert rc == 0, err
+            fields = dict(kv.split("=") for kv in out.split())
+            new += int(fields["new"])
+            dup += int(fields["dup"])
+        # Every key written exactly once; every re-put a harmless dup.
+        assert new == 25
+        assert dup == 25
+        with ResultStore(db) as store:
+            assert store.stats()["results"] == 25
+
+    def test_cross_process_conflict_names_key(self, tmp_path):
+        db, marker = tmp_path / "c.sqlite3", tmp_path / "go"
+        victim = synthetic_result(0, value=1.0)
+        with ResultStore(db) as store:
+            store.put(victim)
+        # Same keys, different payloads (value differs): the child must
+        # refuse with an error naming the clashing key, not overwrite.
+        w = _spawn_writer(db, marker, 0, 5, value=2.0)
+        [(rc, out, err)] = _release_and_wait(marker, w)
+        assert rc == 3, (out, err)
+        assert "conflict:" in out
+        assert victim.key in out
+        with ResultStore(db) as store:
+            # The held row is untouched.
+            assert store.get(victim.key).payload_json() \
+                == victim.payload_json()
+
+    def test_in_process_conflict_attributes(self, tmp_path):
+        with ResultStore(tmp_path / "c.sqlite3") as store:
+            store.put(synthetic_result(1, value=1.0))
+            with pytest.raises(StoreConflictError) as err:
+                store.put(synthetic_result(1, value=9.0))
+            assert err.value.key == synthetic_result(1).key
+            assert err.value.experiment == "zz_conc"
+            assert err.value.key in str(err.value)
+
+    @needs_chaos_env
+    def test_sigkill_mid_put_leaves_store_readable(self, tmp_path):
+        """SIGKILL a writer mid-stream: no torn rows, store stays live."""
+        db, marker = tmp_path / "c.sqlite3", tmp_path / "go"
+        w = _spawn_writer(db, marker, 0, 100_000)  # far more than it gets
+        marker.touch()
+        # Let it write for a moment, then kill without warning.
+        deadline = time.monotonic() + 10
+        while not db.exists() and time.monotonic() < deadline:
+            time.sleep(0.005)
+        time.sleep(0.15)
+        os.kill(w.pid, signal.SIGKILL)
+        w.wait(timeout=30)
+        assert w.returncode == -signal.SIGKILL
+        with ResultStore(db) as store:
+            stats = store.stats()
+            n = stats["results"]
+            assert n >= 1  # it got *something* in before dying
+            # Every surviving row is complete: the key answers with a
+            # parseable document whose payload matches a fresh synth.
+            for seed in range(min(n, 50)):
+                r = store.get(synthetic_result(seed).key)
+                if r is None:
+                    continue
+                assert r.payload_json() \
+                    == synthetic_result(seed).payload_json()
+            # And the store still accepts writes.
+            assert store.put(synthetic_result(10**6)) is True
+            assert store.stats()["results"] == n + 1
