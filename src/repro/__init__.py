@@ -17,7 +17,7 @@ Quickstart::
 See ``examples/`` and README.md for more.
 """
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 from repro.core import (
     Certificate,

@@ -5,6 +5,7 @@ Local subcommands::
     python -m repro run         # one protocol execution, human-readable
     python -m repro experiment  # regenerate an experiment (E1-E10, or all)
     python -m repro list        # available strategies / workloads / experiments
+    python -m repro workloads   # inspect / gc the workload-artifact cache
 
 Service subcommands (:mod:`repro.service`; DESIGN.md §11)::
 
@@ -41,6 +42,9 @@ Examples::
     python -m repro jobs --url http://127.0.0.1:8765
     python -m repro migrate-archive results/sweep
     python -m repro list --json --store results/repro-store.sqlite3
+    REPRO_WORKLOAD_CACHE=results/wl python -m repro experiment e10
+    python -m repro workloads list --cache results/wl
+    python -m repro workloads gc --cache results/wl --dry-run
 """
 
 from __future__ import annotations
@@ -216,6 +220,27 @@ def build_parser() -> argparse.ArgumentParser:
     mig_p.add_argument("--store", type=Path, default=None, metavar="PATH",
                        help="target store database (default: "
                             "DIR/repro-store.sqlite3)")
+
+    wl_p = sub.add_parser(
+        "workloads",
+        help="inspect / sweep the workload-artifact cache",
+    )
+    wl_sub = wl_p.add_subparsers(dest="workloads_command", required=True)
+    wl_list = wl_sub.add_parser(
+        "list", help="published workload artifacts under the cache root")
+    wl_list.add_argument("--cache", type=Path, default=None, metavar="DIR",
+                         help="cache root (default: $REPRO_WORKLOAD_CACHE)")
+    wl_list.add_argument("--json", dest="as_json", action="store_true",
+                         help="machine-readable listing")
+    wl_gc = wl_sub.add_parser(
+        "gc", help="sweep orphaned temp dirs and quarantined artifacts")
+    wl_gc.add_argument("--cache", type=Path, default=None, metavar="DIR",
+                       help="cache root (default: $REPRO_WORKLOAD_CACHE)")
+    wl_gc.add_argument("--dry-run", action="store_true",
+                       help="report gc targets without removing anything")
+    wl_gc.add_argument("--all", dest="all_artifacts", action="store_true",
+                       help="also remove every published artifact "
+                            "(full cache wipe)")
     return parser
 
 
@@ -434,11 +459,24 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     except _OverrideError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    from repro.workloads import active_cache, cache_stats
+
+    cache = active_cache()
+    before = cache_stats().as_dict() if cache is not None else None
     for spec, opts in runs:
         result = spec.run(opts)
         _emit_result(result, args.fmt, args.out)
         if sweep:
             print(_wall_time_summary(result), file=sys.stderr)
+    if cache is not None:
+        after = cache_stats().as_dict()
+        delta = {k: after[k] - before[k] for k in after}
+        print(
+            f"[workloads] cache {cache.root}: hits={delta['hits']} "
+            f"misses={delta['misses']} "
+            f"sampled_edges={delta['sampled_edges']}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -575,6 +613,69 @@ def _cmd_migrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _workloads_cache(args: argparse.Namespace):
+    """Resolve the cache root for a ``workloads`` verb (flag, then env)."""
+    from repro.workloads import ENV_VAR, WorkloadCache
+
+    root = args.cache or os.environ.get(ENV_VAR)
+    if not root:
+        print(f"error: no cache root; pass --cache or set ${ENV_VAR}",
+              file=sys.stderr)
+        return None
+    return WorkloadCache(root)
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    cache = _workloads_cache(args)
+    if cache is None:
+        return 2
+    if args.workloads_command == "list":
+        artifacts = cache.artifacts()
+        if args.as_json:
+            print(json.dumps({
+                "root": str(cache.root),
+                "artifacts": [
+                    {
+                        "name": a.path.name,
+                        "key": a.key,
+                        "spec": a.spec,
+                        "trials": a.trials,
+                        "graphs": int(a.manifest["graphs"]),
+                        "sampled_edges": a.sampled_edges,
+                        "bytes": int(a.manifest["bytes"]),
+                    }
+                    for a in artifacts
+                ],
+                "orphans": [p.name for p in cache.orphans()],
+            }, indent=2))
+            return 0
+        table = Table(
+            headers=["artifact", "scenario", "n", "trials", "edges", "KiB"],
+            title=f"workload cache at {cache.root}", floatfmt=".1f",
+        )
+        for a in artifacts:
+            table.add_row(a.path.name, a.spec["scenario"], a.spec["n"],
+                          a.trials, a.sampled_edges,
+                          int(a.manifest["bytes"]) / 1024)
+        print(table.render())
+        orphans = cache.orphans()
+        print(f"orphans: {len(orphans)}")
+        for p in orphans:
+            print(f"  {p.name}")
+        return 0
+    # gc
+    report = cache.gc(dry_run=args.dry_run,
+                      all_artifacts=args.all_artifacts)
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"workload cache gc at {report['root']}: "
+          f"orphans: {len(report['orphans'])}"
+          + (f", artifacts: {len(report['artifacts_removed'])}"
+             if args.all_artifacts else ""))
+    for name in report["orphans"] + report["artifacts_removed"]:
+        print(f"  {verb}: {name}")
+    return 0
+
+
 def _store_listing(store_path: Path) -> dict[str, Any] | None:
     """``repro list``'s store stanza (``None`` when nothing usable)."""
     from repro.service.store import ResultStore, locate_store
@@ -652,6 +753,7 @@ _COMMANDS = {
     "submit": _cmd_submit,
     "jobs": _cmd_jobs,
     "migrate-archive": _cmd_migrate,
+    "workloads": _cmd_workloads,
 }
 
 

@@ -909,16 +909,25 @@ def _compute_graph(
 ) -> GraphBatchResult:
     opt = plan.options
     seeds = list(plan.seeds)
+    csrs = opt["csrs"]
+    if csrs is None:
+        # Cached-workload plan shipped without its CSR bytes: re-attach
+        # the memory-mapped artifact (shared per worker process) and
+        # slice this shard's trial window.
+        ref = opt.get("workload")
+        if ref is None:
+            raise ValueError("graph plan has neither csrs nor workload ref")
+        csrs = ref.csrs()
     if plan.engine in ("batch", "batch-parity"):
         return simulate_graph_fast_batch(
-            opt["csrs"], opt["colors"], seeds, gamma=opt["gamma"],
+            csrs, opt["colors"], seeds, gamma=opt["gamma"],
             faulty=list(opt["faulty_list"]),
             seed_parity=(plan.engine == "batch-parity"),
         )
     rows = run_trials(
         _graph_agent_worker,
         [(c, opt["colors"], opt["gamma"], tuple(sorted(f)), s)
-         for c, f, s in zip(opt["csrs"], opt["faulty_list"], seeds)],
+         for c, f, s in zip(csrs, opt["faulty_list"], seeds)],
         parallel=(parallel and plan.engine == "process"),
         max_workers=max_workers,
     )

@@ -37,7 +37,11 @@ from typing import Any, Hashable, Iterable, Mapping, Sequence
 
 from repro.core.defenses import FULL_DEFENSES, Defenses
 from repro.core.params import ProtocolParams
-from repro.extensions.families import GraphCSR, csr_from_networkx
+from repro.extensions.families import (
+    GraphCSR,
+    ScenarioWorkload,
+    csr_from_networkx,
+)
 from repro.fastpath.batch import stat_block_trials
 from repro.fastpath.graphs import graph_block_trials
 from repro.fastpath.strategies import strategy_block_trials
@@ -137,7 +141,30 @@ class ExecutionPlan:
         for key in _PER_TRIAL_OPTIONS:
             if options.get(key) is not None:
                 options[key] = options[key][lo:hi]
+        ref = options.get("workload")
+        if ref is not None:
+            options["workload"] = ref.narrow(lo, hi)
         return replace(self, seeds=self.seeds[lo:hi], options=options)
+
+    def __getstate__(self):
+        # Cached-workload plans pickle *without* their CSR bytes: shard
+        # workers re-attach the memory-mapped artifact through the
+        # workload ref, so the control segment carries ~100 bytes per
+        # shard instead of every neighbour array.  The in-memory copy
+        # survives in the parent (slices are fresh dataclass instances),
+        # keeping the serial-degrade fallback intact.
+        state = dict(self.__dict__)
+        options = state.get("options")
+        if isinstance(options, dict) \
+                and options.get("workload") is not None \
+                and options.get("csrs") is not None:
+            options = dict(options)
+            options["csrs"] = None
+            state["options"] = options
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
 
 
 # ---------------------------------------------------------------------------
@@ -300,10 +327,21 @@ def compile_graph_plan(
     faulty: frozenset[int] | Iterable[frozenset[int]] | None = frozenset(),
     engine: str = "auto",
 ) -> ExecutionPlan:
-    """Compile one graph-restricted workload (the E10a inputs)."""
+    """Compile one graph-restricted workload (the E10a inputs).
+
+    ``graphs`` may also be a :class:`~repro.extensions.families
+    .ScenarioWorkload`: its per-trial CSRs feed the plan as usual, and
+    when it is artifact-backed (``wl.ref``) the plan records the
+    workload ref so shard workers attach the memory-mapped artifact
+    instead of receiving repickled CSR bytes.
+    """
     resolved = resolve_engine("graph", engine)
     colors = tuple(colors)
     seeds = tuple(int(s) for s in seeds)
+    workload_ref = None
+    if isinstance(graphs, ScenarioWorkload):
+        workload_ref = graphs.ref
+        graphs = graphs.csrs
     csrs = normalise_graphs(graphs, len(seeds))
     # Validate once so every tier accepts and rejects the same inputs.
     faulty_list = tuple(normalise_faulty(faulty, len(seeds), len(colors)))
@@ -323,6 +361,7 @@ def compile_graph_plan(
             "gamma": float(gamma),
             "faulty_list": faulty_list,
             "csrs": csrs,
+            "workload": workload_ref,
         },
         shard_quantum=quantum,
     )

@@ -196,9 +196,12 @@ def run_graph_trials_fast(
 ) -> GraphBatchResult:
     """Run one graph-restricted Monte-Carlo workload on the chosen engine.
 
-    ``graphs`` is one graph shared by every trial or one per trial
-    (:class:`~repro.extensions.families.GraphCSR` or ``nx.Graph``).
-    Engines:
+    ``graphs`` is one graph shared by every trial, one per trial
+    (:class:`~repro.extensions.families.GraphCSR` or ``nx.Graph``), or a
+    full :class:`~repro.extensions.families.ScenarioWorkload` — an
+    artifact-backed workload threads its cache ref into the plan so
+    shard workers memory-map the artifact instead of unpickling CSR
+    bytes.  Engines:
 
     ``batch`` (the ``auto`` default)
         The batched CSR tier in statistical mode

@@ -38,7 +38,7 @@ from repro.experiments.dispatch import (
 )
 from repro.experiments.registry import experiment
 from repro.experiments.workloads import balanced
-from repro.extensions.families import sample_scenario_workload
+from repro.workloads import cached_scenario_workload
 from repro.util.tables import Table
 
 __all__ = ["E10Options", "run"]
@@ -74,12 +74,15 @@ def run(opts: E10Options = E10Options()) -> tuple[Table, Table]:
         title=f"E10a  Protocol P on other graphs (n = {opts.n})",
     )
     for scenario in opts.scenarios:
-        wl = sample_scenario_workload(
+        # Cache-aware front door: with no active workload cache this is
+        # sample_scenario_workload; with one, the workload comes back
+        # memory-mapped and the plan carries its artifact ref.
+        wl = cached_scenario_workload(
             scenario, opts.n, opts.trials, opts.seed,
             churn_rate=opts.churn_rate,
         )
         res = run_graph_trials_fast(
-            wl.csrs, balanced(opts.n), wl.seeds, gamma=opts.gamma,
+            wl, balanced(opts.n), wl.seeds, gamma=opts.gamma,
             faulty=wl.faulty, engine=opts.engine, jobs=opts.jobs,
             parallel=opts.parallel,
         )

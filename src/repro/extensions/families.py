@@ -11,8 +11,19 @@ the scenario matrix end to end:
   neighbour list, so "neighbour index i" means the same vertex on every
   engine.
 * the family registry (:data:`GRAPH_KINDS` / :func:`sample_graph`) —
-  numpy-native samplers for the structured and Erdős–Rényi families,
-  networkx for the preferential-attachment/small-world/regular ones.
+  numpy-native samplers for every family except ``regular8`` (which
+  keeps networkx's pairing-model sampler).  The Barabási–Albert and
+  Watts–Strogatz samplers are this module's own specs: each one
+  pre-draws its full uniform tensor from the family's named
+  :class:`~repro.util.rng.SeedTree` stream and then applies pure
+  arithmetic, so the vectorized samplers (:func:`sample_graph`,
+  :func:`sample_graph_batch`) and the scalar per-edge references
+  (:func:`sample_graph_reference`) are byte-identical per seed — the
+  sampler-conformance suite pins this.  :data:`SAMPLER_VERSION` names
+  the current byte-level sampler spec; the workload-artifact cache
+  (:mod:`repro.workloads`) keys artifacts on it so a sampler change
+  invalidates every cached workload instead of silently serving stale
+  bytes.
 * **explicit connectivity patching** — kinds whose samplers can emit
   disconnected graphs (:data:`PATCHED_KINDS`) get the Hamiltonian-cycle
   patch, and the number of edges the patch *added* is reported per
@@ -33,6 +44,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -42,6 +54,7 @@ __all__ = [
     "DETERMINISTIC_KINDS",
     "GRAPH_KINDS",
     "PATCHED_KINDS",
+    "SAMPLER_VERSION",
     "GraphCSR",
     "GraphSample",
     "ScenarioWorkload",
@@ -49,9 +62,19 @@ __all__ = [
     "csr_from_networkx",
     "sample_churn_faulty",
     "sample_graph",
+    "sample_graph_batch",
+    "sample_graph_reference",
     "sample_scenario_workload",
     "split_scenario",
 ]
+
+#: Version of the byte-level sampler spec.  Bump whenever any change
+#: alters the bytes a sampler emits for some (kind, n, seed) — cached
+#: workload artifacts (:mod:`repro.workloads`) carry it in their
+#: content-hash key, so a bump invalidates every artifact instead of
+#: serving stale pre-change bytes.  Version 2: the numpy-native BA/WS
+#: specs replaced the networkx samplers.
+SAMPLER_VERSION = 2
 
 #: Scenario-matrix families, in canonical row order.
 GRAPH_KINDS = (
@@ -210,6 +233,200 @@ def _sample_codes(kind: str, n: int, rng: np.random.Generator) -> np.ndarray:
     raise ValueError(f"unknown numpy-native graph kind {kind!r}")
 
 
+# ---------------------------------------------------------------------------
+# Barabási–Albert: preferential attachment via a repeated-nodes array
+# ---------------------------------------------------------------------------
+#
+# The spec (this module's own, replacing networkx): with
+# ``m = min(4, n - 1)``, node ``m`` attaches to all of ``0..m-1``
+# deterministically (so the graph is connected by construction and ba
+# stays out of PATCHED_KINDS), and every later node ``k`` draws ``m``
+# attachment targets by uniform index into the repeated-nodes array
+# ``R`` — the flat history of every edge endpoint so far, so a node's
+# draw probability is proportional to its degree.  All ``m`` draws of
+# one node index the *pre-append* ``R`` (its length is a deterministic
+# function of ``k``), which is what lets the batch sampler advance all
+# trials one node at a time with identical arithmetic.  Duplicate
+# targets collapse when the edge codes are uniqued, exactly as repeated
+# (u, v) attachments do in the classic multigraph formulation.
+
+def _ba_m(n: int) -> int:
+    return min(4, n - 1)
+
+
+def _ba_uniforms(n: int, seed: int) -> np.ndarray:
+    """The BA draw tensor: one uniform per (grown node, attachment)."""
+    m = _ba_m(n)
+    rng = SeedTree(seed).child("graph", "ba").generator()
+    return rng.random((max(0, n - 1 - m), m))
+
+
+def _ba_codes(n: int, uniforms: np.ndarray) -> np.ndarray:
+    """Vectorized single-trial BA edge codes (numpy inner ops)."""
+    m = _ba_m(n)
+    grown = uniforms.shape[0]
+    repeated = np.empty(2 * m * (grown + 1), dtype=np.int64)
+    repeated[:m] = np.arange(m)
+    repeated[m:2 * m] = m
+    codes = [np.arange(m, dtype=np.int64) * n + m]
+    length = 2 * m
+    for j in range(grown):
+        k = m + 1 + j
+        targets = repeated[(uniforms[j] * length).astype(np.int64)]
+        codes.append(targets * n + k)
+        repeated[length:length + m] = targets
+        repeated[length + m:length + 2 * m] = k
+        length += 2 * m
+    return np.unique(np.concatenate(codes))
+
+
+def _ba_codes_reference(n: int, uniforms: np.ndarray) -> np.ndarray:
+    """Scalar per-edge BA reference: same draws, same arithmetic."""
+    m = _ba_m(n)
+    repeated: list[int] = list(range(m)) + [m] * m
+    codes = [u * n + m for u in range(m)]
+    for j in range(uniforms.shape[0]):
+        k = m + 1 + j
+        length = len(repeated)
+        targets = []
+        for e in range(m):
+            t = int(repeated[int(uniforms[j, e] * length)])
+            targets.append(t)
+            codes.append(t * n + k)
+        repeated.extend(targets)
+        repeated.extend([k] * m)
+    return np.unique(np.array(codes, dtype=np.int64))
+
+
+def _ba_codes_batch(n: int, uniforms: np.ndarray) -> list[np.ndarray]:
+    """Batch BA: advance every trial one node at a time (trial-axis ops).
+
+    ``uniforms`` is the ``(trials, n-1-m, m)`` stack of per-trial draw
+    tensors; the per-node loop is shared, the inner gather/scatter runs
+    across all trials at once.
+    """
+    n_b, grown, m = uniforms.shape
+    repeated = np.empty((n_b, 2 * m * (grown + 1)), dtype=np.int64)
+    repeated[:, :m] = np.arange(m)
+    repeated[:, m:2 * m] = m
+    star = np.arange(m, dtype=np.int64) * n + m
+    drawn = np.empty((n_b, grown, m), dtype=np.int64)
+    rows = np.arange(n_b)[:, None]
+    length = 2 * m
+    for j in range(grown):
+        k = m + 1 + j
+        targets = repeated[rows, (uniforms[:, j, :] * length)
+                           .astype(np.int64)]
+        drawn[:, j, :] = targets * n + k
+        repeated[:, length:length + m] = targets
+        repeated[:, length + m:length + 2 * m] = k
+        length += 2 * m
+    return [
+        np.unique(np.concatenate([star, drawn[b].ravel()]))
+        for b in range(n_b)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Watts–Strogatz: ring lattice with independent edge rewiring
+# ---------------------------------------------------------------------------
+#
+# The spec: a ``k = 2 * half`` ring lattice (``half = min(8, n-2) // 2``
+# neighbours per side) whose edges rewire independently with
+# probability 0.1 to a uniform candidate endpoint.  A candidate equal
+# to the edge's anchor (a would-be self-loop) keeps the lattice edge;
+# duplicate edges collapse in the unique-codes union.  Every decision
+# is per-edge on pre-drawn arrays, so the vectorized sampler is a
+# straight ``np.where`` over the scalar reference's loop.
+
+#: Rewiring probability of the Watts–Strogatz spec.
+_WS_REWIRE_P = 0.1
+
+
+def _ws_half(n: int) -> int:
+    return max(1, min(8, n - 2) // 2)
+
+
+def _ws_draws(n: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    """(rewire uniforms, candidate endpoints), one per lattice edge."""
+    half = _ws_half(n)
+    rng = SeedTree(seed).child("graph", "ws").generator()
+    rewire = rng.random(n * half)
+    cand = rng.integers(0, n, size=n * half)
+    return rewire, cand
+
+
+def _ws_codes(n: int, rewire: np.ndarray, cand: np.ndarray) -> np.ndarray:
+    """Vectorized WS edge codes (edge order: offset-major, then anchor)."""
+    half = _ws_half(n)
+    j = np.repeat(np.arange(1, half + 1, dtype=np.int64), n)
+    u = np.tile(np.arange(n, dtype=np.int64), half)
+    v = (u + j) % n
+    w = np.where((rewire < _WS_REWIRE_P) & (cand != u), cand, v)
+    return np.unique(np.minimum(u, w) * n + np.maximum(u, w))
+
+
+def _ws_codes_reference(
+    n: int, rewire: np.ndarray, cand: np.ndarray
+) -> np.ndarray:
+    """Scalar per-edge WS reference: same draws, same decisions."""
+    half = _ws_half(n)
+    codes = set()
+    e = 0
+    for j in range(1, half + 1):
+        for u in range(n):
+            v = (u + j) % n
+            w = v
+            if rewire[e] < _WS_REWIRE_P and int(cand[e]) != u:
+                w = int(cand[e])
+            codes.add(min(u, w) * n + max(u, w))
+            e += 1
+    return np.array(sorted(codes), dtype=np.int64)
+
+
+def _torus_codes_reference(n: int) -> np.ndarray:
+    """Scalar per-cell torus reference (right + down wrap neighbours)."""
+    a, b = _torus_dims(n)
+    if a < 2:  # prime n: the torus degenerates to the cycle
+        codes = set()
+        for u in range(n):
+            v = (u + 1) % n
+            codes.add(min(u, v) * n + max(u, v))
+        return np.array(sorted(codes), dtype=np.int64)
+    codes = set()
+    for r in range(a):
+        for c in range(b):
+            u = r * b + c
+            for v in (r * b + (c + 1) % b, ((r + 1) % a) * b + c):
+                codes.add(min(u, v) * n + max(u, v))
+    return np.array(sorted(codes), dtype=np.int64)
+
+
+def _validate_kind_n(kind: str, n: int) -> None:
+    if kind not in GRAPH_KINDS:
+        raise ValueError(f"unknown graph kind {kind!r}; known: {GRAPH_KINDS}")
+    if n < 4:
+        raise ValueError(f"graph scenarios need n >= 4, got {n}")
+
+
+def _regular8_codes(n: int, seed: int) -> np.ndarray:
+    """The one family still sampled through networkx (pairing model)."""
+    import networkx as nx
+
+    g = nx.random_regular_graph(min(8, n - 1), n, seed=seed)
+    ends = np.array(list(g.edges), dtype=np.int64).reshape(-1, 2)
+    lo, hi = ends.min(axis=1), ends.max(axis=1)
+    return np.unique(lo * n + hi)
+
+
+def _finish_sample(kind: str, n: int, codes: np.ndarray) -> GraphSample:
+    patched = 0
+    if kind in PATCHED_KINDS:
+        codes, patched = _patch_connected(n, codes)
+    return GraphSample(kind=kind, csr=_codes_to_csr(n, codes),
+                       patched_edges=patched)
+
+
 def sample_graph(kind: str, n: int, seed: int) -> GraphSample:
     """Sample one scenario graph (deterministic in ``(kind, n, seed)``).
 
@@ -217,32 +434,66 @@ def sample_graph(kind: str, n: int, seed: int) -> GraphSample:
     Hamiltonian-cycle patch; ``patched_edges`` counts the edges the
     patch added (0 for the never-patched kinds).
     """
-    if kind not in GRAPH_KINDS:
-        raise ValueError(f"unknown graph kind {kind!r}; known: {GRAPH_KINDS}")
-    if n < 4:
-        raise ValueError(f"graph scenarios need n >= 4, got {n}")
-    if kind in ("complete", "ring", "star", "torus", "er_dense", "er_sparse"):
+    _validate_kind_n(kind, n)
+    if kind == "ba":
+        codes = _ba_codes(n, _ba_uniforms(n, seed))
+    elif kind == "ws":
+        codes = _ws_codes(n, *_ws_draws(n, seed))
+    elif kind == "regular8":
+        codes = _regular8_codes(n, seed)
+    else:
         rng = SeedTree(seed).child("graph", kind).generator()
         codes = _sample_codes(kind, n, rng)
-    else:
-        import networkx as nx
+    return _finish_sample(kind, n, codes)
 
-        if kind == "regular8":
-            g = nx.random_regular_graph(min(8, n - 1), n, seed=seed)
-        elif kind == "ba":
-            g = nx.barabasi_albert_graph(n, min(4, n - 1), seed=seed)
-        elif kind == "ws":
-            g = nx.watts_strogatz_graph(n, min(8, n - 2), 0.1, seed=seed)
-        else:  # pragma: no cover - guarded by GRAPH_KINDS above
-            raise ValueError(kind)
-        ends = np.array(list(g.edges), dtype=np.int64).reshape(-1, 2)
-        lo, hi = ends.min(axis=1), ends.max(axis=1)
-        codes = np.unique(lo * n + hi)
-    patched = 0
-    if kind in PATCHED_KINDS:
-        codes, patched = _patch_connected(n, codes)
-    return GraphSample(kind=kind, csr=_codes_to_csr(n, codes),
-                       patched_edges=patched)
+
+def sample_graph_reference(kind: str, n: int, seed: int) -> GraphSample:
+    """The scalar per-edge reference samplers, same outputs bit-for-bit.
+
+    ``ba``/``ws``/``torus`` route through explicit Python loops over the
+    same pre-drawn uniforms as :func:`sample_graph`; every other kind is
+    already a one-shot numpy expression and delegates.  The
+    sampler-conformance suite pins ``sample_graph_reference(...) ==
+    sample_graph(...)`` byte-for-byte per (kind, n, seed).
+    """
+    _validate_kind_n(kind, n)
+    if kind == "ba":
+        codes = _ba_codes_reference(n, _ba_uniforms(n, seed))
+    elif kind == "ws":
+        codes = _ws_codes_reference(n, *_ws_draws(n, seed))
+    elif kind == "torus":
+        codes = _torus_codes_reference(n)
+    else:
+        return sample_graph(kind, n, seed)
+    return _finish_sample(kind, n, codes)
+
+
+def sample_graph_batch(
+    kind: str, n: int, seeds: Sequence[int]
+) -> list[GraphSample]:
+    """One sample per seed, batched where the family supports it.
+
+    Deterministic kinds sample once and share the object (callers and
+    the batch tier rely on the ``is`` identity to skip replicating the
+    flat neighbour arrays); ``ba`` advances all trials together through
+    the batch sampler; the remaining families loop per seed (their
+    samplers are already one-shot numpy expressions, or networkx for
+    ``regular8``).  Per-seed outputs are byte-identical to
+    :func:`sample_graph`.
+    """
+    _validate_kind_n(kind, n)
+    seeds = [int(s) for s in seeds]
+    if not seeds:
+        return []
+    if kind in DETERMINISTIC_KINDS:
+        return [sample_graph(kind, n, seeds[0])] * len(seeds)
+    if kind == "ba":
+        uniforms = np.stack([_ba_uniforms(n, s) for s in seeds])
+        return [
+            _finish_sample(kind, n, codes)
+            for codes in _ba_codes_batch(n, uniforms)
+        ]
+    return [sample_graph(kind, n, s) for s in seeds]
 
 
 def split_scenario(scenario: str) -> tuple[str, bool]:
@@ -262,6 +513,10 @@ class ScenarioWorkload:
     samples: tuple[GraphSample, ...]
     faulty: tuple[frozenset[int], ...]
     seeds: tuple[int, ...]
+    #: When the workload came out of the artifact cache
+    #: (:mod:`repro.workloads`), the handle shard workers use to attach
+    #: the memory-mapped artifact instead of repickling the CSR bytes.
+    ref: Any = None
 
     @property
     def csrs(self) -> list[GraphCSR]:
@@ -289,11 +544,7 @@ def sample_scenario_workload(
     """
     kind, churn = split_scenario(scenario)
     seeds = tuple(base_seed + seed_stride * i for i in range(trials))
-    if kind in DETERMINISTIC_KINDS:
-        samples: tuple[GraphSample, ...] = \
-            (sample_graph(kind, n, base_seed),) * trials
-    else:
-        samples = tuple(sample_graph(kind, n, s) for s in seeds)
+    samples = tuple(sample_graph_batch(kind, n, seeds))
     faulty = (
         tuple(sample_churn_faulty(n, churn_rate, s) for s in seeds)
         if churn else (frozenset(),) * trials

@@ -158,6 +158,9 @@ class Daemon:
     # -- telemetry ----------------------------------------------------------
 
     def stats(self) -> dict[str, Any]:
+        from repro.workloads import active_cache, cache_stats
+
+        wl_cache = active_cache()
         with self._lock:
             done = self.executed + self.cache_hits
             return {
@@ -170,4 +173,8 @@ class Daemon:
                 "jobs": self.jobs,
                 "running": self.running,
                 "warm_pool": warm_pool_stats(),
+                "workload_cache": (
+                    {"root": str(wl_cache.root), **cache_stats().as_dict()}
+                    if wl_cache is not None else None
+                ),
             }

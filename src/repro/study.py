@@ -372,6 +372,10 @@ class Study:
         from repro.service.store import ResultStore, locate_store
 
         done: list[StudyCell] = []
+        from repro.workloads import active_cache, cache_stats
+
+        wl_cache = active_cache()
+        wl_before = cache_stats().as_dict() if wl_cache is not None else None
         quarantined: list[str] = []
         jobs_field = (
             jobs is not None
@@ -449,6 +453,13 @@ class Study:
                         "quarantined": len(quarantined),
                         "events": len(journal.events()) + 1,  # incl. end
                         "compacted": True,
+                    }
+                if wl_cache is not None:
+                    wl_after = cache_stats().as_dict()
+                    manifest["workload_cache"] = {
+                        "root": str(wl_cache.root),
+                        **{k: wl_after[k] - wl_before[k]
+                           for k in wl_after},
                     }
                 atomic_write_text(
                     archive_dir /

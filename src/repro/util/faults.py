@@ -9,9 +9,11 @@ accepts and rejects exactly the same inputs.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
 
-__all__ = ["normalise_faulty"]
+import numpy as np
+
+__all__ = ["decode_fault_sets", "encode_fault_sets", "normalise_faulty"]
 
 
 def normalise_faulty(
@@ -38,3 +40,33 @@ def normalise_faulty(
                         f"faulty label {label} out of range for n={n}"
                     )
     return per_trial
+
+
+def encode_fault_sets(
+    faulty: Sequence[frozenset[int]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten per-trial fault sets to ``(labels, offsets)`` arrays.
+
+    Trial ``i``'s set is ``labels[offsets[i]:offsets[i + 1]]``, sorted
+    ascending — the array form the workload-artifact cache persists and
+    memory-maps.
+    """
+    offsets = np.zeros(len(faulty) + 1, dtype=np.int64)
+    chunks = []
+    for i, f in enumerate(faulty):
+        chunk = np.array(sorted(f), dtype=np.int64)
+        chunks.append(chunk)
+        offsets[i + 1] = offsets[i] + chunk.size
+    labels = (np.concatenate(chunks) if chunks
+              else np.zeros(0, dtype=np.int64))
+    return labels, offsets
+
+
+def decode_fault_sets(
+    labels: np.ndarray, offsets: np.ndarray
+) -> list[frozenset[int]]:
+    """Inverse of :func:`encode_fault_sets`."""
+    return [
+        frozenset(labels[offsets[i]:offsets[i + 1]].tolist())
+        for i in range(offsets.size - 1)
+    ]

@@ -11,7 +11,11 @@ redesigned ``run()`` with the same options and asserts the
 the scenario matrix widened (ba/ws/torus/star + the churn row) and
 E10a gained the "mean patched edges" column that makes the formerly
 silent connectivity patching of the sparse families visible.  Its
-options below pin the refreshed capture.
+options below pin the refreshed capture.  It was refreshed again when
+the numpy-native BA/WS sampler specs replaced the networkx samplers
+(SAMPLER_VERSION 2): the ba/ws rows reflect the new specs' draws, and
+the sampler-conformance suite pins the new bytes against the scalar
+reference implementations.
 """
 
 from __future__ import annotations

@@ -1,0 +1,219 @@
+"""Sampler-conformance tier: vectorized == scalar, byte for byte.
+
+The numpy-native samplers in :mod:`repro.extensions.families` (single
+and batch) and the scalar per-edge references consume the *same*
+pre-drawn uniform tensors, so their outputs must agree exactly — not
+statistically, bit for bit.  This suite pins that contract per family,
+plus the structural invariants of the sampled graphs (hypothesis), and
+the end-to-end guarantee the workload cache rides on: the e10 result
+payload is byte-identical with the cache off, cold, and warm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.extensions.families import (
+    DETERMINISTIC_KINDS,
+    GRAPH_KINDS,
+    PATCHED_KINDS,
+    GraphCSR,
+    sample_churn_faulty,
+    sample_graph,
+    sample_graph_batch,
+    sample_graph_reference,
+    sample_scenario_workload,
+)
+from repro.util.faults import (
+    decode_fault_sets,
+    encode_fault_sets,
+    normalise_faulty,
+)
+from repro.workloads import (
+    cached_scenario_workload,
+    detach_artifacts,
+    workload_cache,
+)
+
+SIZES = (8, 24, 64)
+SEEDS = (0, 1, 1010)
+
+
+def assert_same_sample(a, b) -> None:
+    assert a.kind == b.kind
+    assert a.patched_edges == b.patched_edges
+    assert np.array_equal(a.csr.indptr, b.csr.indptr)
+    assert np.array_equal(a.csr.nbrs, b.csr.nbrs)
+
+
+def connected(csr: GraphCSR) -> bool:
+    seen = np.zeros(csr.n, dtype=bool)
+    stack = [0]
+    seen[0] = True
+    while stack:
+        u = stack.pop()
+        for v in csr.neighbors(u):
+            if not seen[v]:
+                seen[v] = True
+                stack.append(int(v))
+    return bool(seen.all())
+
+
+class TestScalarReferenceParity:
+    """The headline contract: fast sampler == scalar reference, per seed."""
+
+    @pytest.mark.parametrize("kind", GRAPH_KINDS)
+    @pytest.mark.parametrize("n", SIZES)
+    def test_reference_byte_identity(self, kind, n):
+        for seed in SEEDS:
+            assert_same_sample(
+                sample_graph(kind, n, seed),
+                sample_graph_reference(kind, n, seed),
+            )
+
+    @pytest.mark.parametrize("kind", GRAPH_KINDS)
+    def test_batch_matches_per_seed(self, kind):
+        seeds = [1010 + 41 * i for i in range(7)]
+        batch = sample_graph_batch(kind, 24, seeds)
+        assert len(batch) == len(seeds)
+        for s, got in zip(seeds, batch):
+            assert_same_sample(got, sample_graph(kind, 24, s))
+
+    def test_batch_shares_deterministic_samples(self):
+        # The batch tier's block-adjacency fast path keys on object
+        # identity — deterministic kinds must share one sample.
+        for kind in DETERMINISTIC_KINDS:
+            batch = sample_graph_batch(kind, 16, [3, 44, 85])
+            assert all(s is batch[0] for s in batch)
+
+    def test_batch_empty_and_validation(self):
+        assert sample_graph_batch("ba", 16, []) == []
+        with pytest.raises(ValueError, match="unknown graph kind"):
+            sample_graph_batch("mystery", 16, [1])
+        with pytest.raises(ValueError, match="n >= 4"):
+            sample_graph_reference("ba", 2, 1)
+
+
+class TestSamplerProperties:
+    """Hypothesis invariants of the vectorized samplers."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(5, 80), seed=st.integers(0, 2**31 - 1))
+    def test_ba_connected_and_bounded(self, n, seed):
+        # BA attaches every new vertex to an existing one: connected by
+        # construction (never patched), with at most m*(n-m) edges.
+        g = sample_graph("ba", n, seed)
+        m = min(4, n - 1)
+        assert g.patched_edges == 0
+        assert connected(g.csr)
+        assert g.csr.edge_count() <= m * (n - m)
+        assert g.csr.nbrs.size % 2 == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(5, 80), seed=st.integers(0, 2**31 - 1))
+    def test_ws_connected_after_patch(self, n, seed):
+        g = sample_graph("ws", n, seed)
+        assert connected(g.csr)
+        # Rewiring never adds edges beyond the lattice count.
+        half = max(1, min(8, n - 2) // 2)
+        assert g.csr.edge_count() <= n * half + g.patched_edges
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        kind=st.sampled_from(sorted(PATCHED_KINDS)),
+        n=st.integers(5, 64),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_patch_counts_match_reference(self, kind, n, seed):
+        fast = sample_graph(kind, n, seed)
+        ref = sample_graph_reference(kind, n, seed)
+        assert fast.patched_edges == ref.patched_edges
+        assert connected(fast.csr)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        kind=st.sampled_from(GRAPH_KINDS),
+        n=st.integers(5, 64),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_csr_well_formed(self, n, kind, seed):
+        csr = sample_graph(kind, n, seed).csr
+        assert csr.indptr.shape == (n + 1,)
+        assert csr.indptr[0] == 0 and csr.indptr[-1] == csr.nbrs.size
+        assert np.all(np.diff(csr.indptr) >= 0)
+        # Degree sum == 2E (handshake), labels in range, rows sorted,
+        # no self loops.
+        assert int(csr.degrees.sum()) == csr.nbrs.size
+        if csr.nbrs.size:
+            assert csr.nbrs.min() >= 0 and csr.nbrs.max() < n
+        for u in (0, n // 2, n - 1):
+            row = csr.neighbors(u)
+            assert np.all(np.diff(row) > 0)  # sorted, no duplicates
+            assert u not in row
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(4, 128),
+        rate=st.floats(0.0, 0.9),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_churn_sets_respect_normalise_faulty(self, n, rate, seed):
+        f = sample_churn_faulty(n, rate, seed)
+        # Labels valid for n agents — normalise_faulty must accept.
+        [back] = normalise_faulty(f, 1, n)
+        assert back == f
+        assert len(f) <= n - 2  # at least two agents stay alive
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        sets=st.lists(
+            st.frozensets(st.integers(0, 63), max_size=8), max_size=6
+        )
+    )
+    def test_fault_set_encoding_round_trips(self, sets):
+        labels, offsets = encode_fault_sets(sets)
+        assert labels.dtype == np.int64 and offsets.dtype == np.int64
+        assert offsets.shape == (len(sets) + 1,)
+        assert decode_fault_sets(labels, offsets) == list(sets)
+
+
+class TestWorkloadParity:
+    """Scenario workloads through the cache: cold == warm == uncached."""
+
+    def assert_same_workload(self, a, b) -> None:
+        assert a.scenario == b.scenario
+        assert a.seeds == b.seeds
+        assert tuple(a.faulty) == tuple(b.faulty)
+        assert len(a.samples) == len(b.samples)
+        for x, y in zip(a.samples, b.samples):
+            assert_same_sample(x, y)
+
+    @pytest.mark.parametrize("scenario", ["ba", "ring", "regular8+churn"])
+    def test_cache_roundtrip_byte_identity(self, scenario, tmp_path):
+        plain = sample_scenario_workload(scenario, 16, 5, 1010)
+        with workload_cache(tmp_path):
+            cold = cached_scenario_workload(scenario, 16, 5, 1010)
+            detach_artifacts()
+            warm = cached_scenario_workload(scenario, 16, 5, 1010)
+        self.assert_same_workload(plain, cold)
+        self.assert_same_workload(plain, warm)
+        assert cold.ref is not None and warm.ref is not None
+        # Cached views are read-only memory maps: nothing downstream
+        # can mutate the shared artifact.
+        assert not warm.csrs[0].nbrs.flags.writeable
+
+    def test_e10_payload_identical_cache_on_and_off(self, tmp_path):
+        from golden_opts import GOLDEN_OPTS
+        from repro.experiments.registry import get_experiment
+
+        spec = get_experiment("e10")
+        opts = spec.options_cls(**GOLDEN_OPTS["e10"])
+        off = spec.run(opts).payload_json()
+        with workload_cache(tmp_path):
+            cold = spec.run(opts).payload_json()
+            detach_artifacts()
+            warm = spec.run(opts).payload_json()
+        assert off == cold
+        assert off == warm
